@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the hot paths of the library:
+ * BRAM readback under fault injection, device-wide fault counting,
+ * k-means clustering, weight quantization, placement construction, and
+ * fixed-point NN inference. Not a paper figure — this is engineering
+ * telemetry for the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/placement.hh"
+#include "accel/weight_image.hh"
+#include "data/synthetic.hh"
+#include "harness/clusterer.hh"
+#include "harness/fvm.hh"
+#include "nn/network.hh"
+#include "nn/quantizer.hh"
+#include "pmbus/board.hh"
+#include "util/kmeans.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace uvolt;
+
+pmbus::Board &
+vc707()
+{
+    static pmbus::Board board(fpga::findPlatform("VC707"));
+    return board;
+}
+
+void
+BM_BramReadbackAtVcrash(benchmark::State &state)
+{
+    auto &board = vc707();
+    board.device().fillAll(0xFFFF);
+    board.setVccBramMv(board.spec().calib.bramVcrashMv);
+    board.startReferenceRun();
+    std::uint32_t bram = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(board.readBramToHost(bram));
+        bram = (bram + 1) % board.device().bramCount();
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * fpga::bramRows * 2);
+    board.softReset();
+}
+BENCHMARK(BM_BramReadbackAtVcrash);
+
+void
+BM_DeviceFaultCount(benchmark::State &state)
+{
+    auto &board = vc707();
+    board.device().fillAll(0xFFFF);
+    board.setVccBramMv(board.spec().calib.bramVcrashMv);
+    board.startReferenceRun();
+    for (auto _ : state) {
+        std::uint64_t total = 0;
+        for (std::uint32_t b = 0; b < board.device().bramCount(); ++b)
+            total += static_cast<std::uint64_t>(board.countBramFaults(b));
+        benchmark::DoNotOptimize(total);
+    }
+    board.softReset();
+}
+BENCHMARK(BM_DeviceFaultCount);
+
+void
+BM_KMeansClustering(benchmark::State &state)
+{
+    Rng rng(7);
+    std::vector<double> rates(2060);
+    for (auto &rate : rates)
+        rate = rng.chance(0.39) ? 0.0 : rng.exponential(100.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kMeans1d(rates, 3));
+}
+BENCHMARK(BM_KMeansClustering);
+
+void
+BM_QuantizeMnistModel(benchmark::State &state)
+{
+    nn::Network net({784, 1024, 512, 256, 128, 10});
+    net.initWeights(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nn::quantize(net));
+}
+BENCHMARK(BM_QuantizeMnistModel);
+
+void
+BM_IcbpPlacement(benchmark::State &state)
+{
+    nn::Network net({784, 1024, 512, 256, 128, 10});
+    net.initWeights(1);
+    const accel::WeightImage image(nn::quantize(net));
+    std::vector<int> faults(2060);
+    Rng rng(3);
+    for (auto &f : faults)
+        f = rng.chance(0.39) ? 0 : static_cast<int>(rng.uniformInt(1, 99));
+    const harness::Fvm fvm(
+        "bench", vc707().device().floorplan(), std::move(faults));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(accel::icbpPlacement(image, fvm));
+}
+BENCHMARK(BM_IcbpPlacement);
+
+void
+BM_MnistInference(benchmark::State &state)
+{
+    static const nn::Network net = [] {
+        nn::Network n({784, 1024, 512, 256, 128, 10});
+        n.initWeights(1);
+        return n;
+    }();
+    static const data::Dataset set = data::makeMnistLike(64, 5);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.classify(set.sample(i)));
+        i = (i + 1) % set.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MnistInference);
+
+void
+BM_MnistGeneration(benchmark::State &state)
+{
+    std::uint64_t seed = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(data::makeMnistLike(32, ++seed));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_MnistGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

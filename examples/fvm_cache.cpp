@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Example: the characterize-once / place-many-times flow.
+ *
+ * The paper extracts each chip's Fault Variation Map as a pre-process
+ * stage and then feeds it to the compile-time ICBP constraint (Fig
+ * 12b). This example mirrors that split: on the first run it
+ * characterizes the chip and saves the FVM to disk; subsequent runs
+ * skip the (slow) characterization, load the map, and go straight to
+ * placement — exactly how a build farm would consume per-board maps.
+ *
+ * Usage: fvm_cache [--platform VC707] [--file board.fvm] [--force]
+ */
+
+#include <cstdio>
+
+#include "accel/accelerator.hh"
+#include "accel/placement.hh"
+#include "accel/weight_image.hh"
+#include "harness/clusterer.hh"
+#include "harness/experiment.hh"
+#include "harness/fvm.hh"
+#include "harness/fvm_io.hh"
+#include "nn/model_zoo.hh"
+#include "nn/quantizer.hh"
+#include "pmbus/board.hh"
+#include "util/cli.hh"
+
+using namespace uvolt;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Characterize-once / place-many-times FVM flow");
+    cli.addString("platform", "VC707", "board to use");
+    cli.addString("file", "", "FVM cache path (default <platform>.fvm)");
+    cli.addBool("force", "re-characterize even if the cache exists");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const auto &spec = fpga::findPlatform(cli.getString("platform"));
+    pmbus::Board board(spec);
+    std::string path = cli.getString("file");
+    if (path.empty())
+        path = spec.name + ".fvm";
+
+    // --- Stage 1: obtain the chip's FVM (from cache if possible) ---------
+    std::optional<harness::Fvm> fvm;
+    if (!cli.getBool("force"))
+        fvm = harness::loadFvm(board.device().floorplan(), path);
+    if (fvm) {
+        std::printf("loaded FVM for %s from %s (%.1f%% fault-free "
+                    "BRAMs)\n",
+                    fvm->platform().c_str(), path.c_str(),
+                    fvm->faultFreeFraction() * 100.0);
+    } else {
+        std::printf("no usable FVM cache at %s; characterizing %s "
+                    "(Listing 1)...\n", path.c_str(), spec.name.c_str());
+        harness::SweepOptions options;
+        options.runsPerLevel = 9;
+        const harness::SweepResult sweep =
+            harness::runCriticalSweep(board, options);
+        fvm = harness::fvmFromSweep(sweep, board.device().floorplan());
+        if (harness::saveFvm(*fvm, board.device().floorplan(), path))
+            std::printf("saved FVM to %s\n", path.c_str());
+    }
+
+    // --- Stage 2: compile-time use of the map ----------------------------
+    const harness::ClusterReport clusters = harness::clusterBrams(*fvm);
+    std::printf("low-vulnerable pool: %zu BRAMs (%.1f%%)\n",
+                clusters.lowVulnerableBrams.size(),
+                clusters.shareOf(harness::VulnClass::Low) * 100.0);
+
+    const nn::ZooSpec zoo = nn::paperForestSpec();
+    const nn::QuantizedModel model = nn::quantize(nn::trainOrLoad(zoo));
+    const accel::WeightImage image(model);
+    if (image.logicalBramCount() > board.device().bramCount()) {
+        std::printf("model does not fit %s; nothing to place\n",
+                    spec.name.c_str());
+        return 1;
+    }
+    const accel::Placement placement = accel::icbpPlacement(image, *fvm);
+
+    // Deploy at Vcrash and report the protected outcome.
+    accel::Accelerator accel(board, image, placement);
+    board.setVccBramMv(spec.calib.bramVcrashMv);
+    board.startReferenceRun();
+    const auto faults = accel.weightFaults();
+    std::printf("deployed %u weight BRAMs with ICBP at Vcrash: %llu "
+                "weight-bit faults (last layer: %llu)\n",
+                image.logicalBramCount(),
+                static_cast<unsigned long long>(faults.total),
+                static_cast<unsigned long long>(
+                    faults.faultsPerLayer.back()));
+    board.softReset();
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: a five-minute tour of the library.
+ *
+ *  1. Power up a modeled Xilinx board (VC707 by default).
+ *  2. Discover its SAFE / CRITICAL / CRASH voltage regions (Fig 1).
+ *  3. Read BRAMs back at a reduced voltage and look at real faults.
+ *  4. Ask the power model what the trip was worth.
+ *
+ * Usage: quickstart [--platform VC707|ZC702|KC705-A|KC705-B]
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "harness/fault_analyzer.hh"
+#include "power/power_model.hh"
+#include "pmbus/board.hh"
+#include "util/cli.hh"
+
+using namespace uvolt;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Quickstart tour of the FPGA undervolting library");
+    cli.addString("platform", "VC707", "board to model");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    // 1. Power up a board: device model + UCD9248 regulator + serial
+    //    readback link + this chip's deterministic fault personality.
+    const auto &spec = fpga::findPlatform(cli.getString("platform"));
+    pmbus::Board board(spec);
+    std::printf("%s (%s, %s): %u BRAMs of 16 kbit, VCCBRAM nominal %d mV\n",
+                spec.name.c_str(), spec.family.c_str(),
+                spec.chipModel.c_str(), spec.bramCount, spec.vnomMv);
+
+    // 2. Find the voltage regions by stepping the rail down 10 mV at a
+    //    time, exactly like the paper's Fig 1 experiment.
+    const harness::RegionResult regions =
+        harness::discoverRegions(board, fpga::RailId::VccBram);
+    std::printf("SAFE down to %d mV (guardband %.0f%%), CRITICAL down to "
+                "%d mV, then CRASH\n",
+                regions.vminMv, regions.guardband() * 100.0,
+                regions.vcrashMv);
+
+    // 3. Fill the BRAMs with 0xFFFF, drop into the critical region, and
+    //    read one faulty BRAM back over the serial link.
+    harness::fillPattern(board, harness::PatternSpec::allOnes());
+    board.setVccBramMv(regions.vcrashMv);
+    board.startReferenceRun();
+
+    harness::FaultSummary summary;
+    std::vector<harness::FaultObservation> faults;
+    for (std::uint32_t b = 0; b < board.device().bramCount(); ++b)
+        harness::diffBram(board.device().bram(b), board.readBramToHost(b),
+                          b, faults, summary);
+    std::printf("at %d mV: %llu faulty bitcells (%.0f per Mbit), "
+                "%.2f%% of them \"1\"->\"0\" flips\n",
+                regions.vcrashMv,
+                static_cast<unsigned long long>(summary.totalFaults),
+                harness::faultsPerMbit(
+                    static_cast<double>(summary.totalFaults),
+                    board.device().totalBits()),
+                summary.oneToZeroFraction() * 100.0);
+    if (!faults.empty()) {
+        const auto &first = faults.front();
+        std::printf("first fault: BRAM %u, row %u, bit %u\n", first.bram,
+                    first.row, first.col);
+    }
+
+    // 4. What was it worth? Ask the power model.
+    const power::RailPowerModel rail(spec);
+    std::printf("BRAM rail power: %.3f W nominal -> %.3f W at Vmin "
+                "(%.1fx) -> %.3f W at Vcrash\n",
+                rail.bramPower(1.0), rail.bramPower(regions.vminMv / 1e3),
+                rail.bramPower(1.0) / rail.bramPower(regions.vminMv / 1e3),
+                rail.bramPower(regions.vcrashMv / 1e3));
+
+    board.softReset();
+    std::printf("board reset to nominal; DONE pin %s\n",
+                board.donePin() ? "high" : "low");
+    return 0;
+}

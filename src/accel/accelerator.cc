@@ -1,0 +1,89 @@
+#include "accel/accelerator.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace uvolt::accel
+{
+
+Accelerator::Accelerator(pmbus::Board &board, WeightImage image,
+                         Placement placement)
+    : board_(board), image_(std::move(image)),
+      placement_(std::move(placement))
+{
+    if (placement_.logicalCount() != image_.logicalBramCount())
+        fatal("placement covers {} BRAMs, image needs {}",
+              placement_.logicalCount(), image_.logicalBramCount());
+    if (!placement_.fits(board_.device().bramCount()))
+        fatal("placement does not fit the {} device",
+              board_.spec().name);
+    program();
+}
+
+void
+Accelerator::program()
+{
+    for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
+         ++logical) {
+        auto &bram = board_.device().bram(placement_.physicalOf(logical));
+        const auto &rows = image_.rowsOf(logical);
+        for (int row = 0; row < fpga::bramRows; ++row)
+            bram.writeRow(row, rows[static_cast<std::size_t>(row)]);
+    }
+}
+
+nn::QuantizedModel
+Accelerator::observedModel() const
+{
+    std::vector<std::vector<std::uint16_t>> observed;
+    observed.reserve(image_.logicalBramCount());
+    for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
+         ++logical) {
+        observed.push_back(
+            board_.readBramToHost(placement_.physicalOf(logical)));
+    }
+    return image_.decode(observed);
+}
+
+nn::Network
+Accelerator::observedNetwork() const
+{
+    return observedModel().toNetwork();
+}
+
+WeightFaultReport
+Accelerator::weightFaults() const
+{
+    WeightFaultReport report;
+    report.faultsPerLayer.assign(image_.layerSpans().size(), 0);
+
+    for (const LayerSpan &span : image_.layerSpans()) {
+        for (std::uint32_t b = 0; b < span.bramCount; ++b) {
+            const std::uint32_t logical = span.firstLogicalBram + b;
+            const auto observed =
+                board_.readBramToHost(placement_.physicalOf(logical));
+            const auto &written = image_.rowsOf(logical);
+            std::uint64_t faults = 0;
+            for (int row = 0; row < fpga::bramRows; ++row) {
+                faults += static_cast<std::uint64_t>(std::popcount(
+                    static_cast<unsigned>(
+                        observed[static_cast<std::size_t>(row)] ^
+                        written[static_cast<std::size_t>(row)])));
+            }
+            report.faultsPerLayer[static_cast<std::size_t>(span.layer)] +=
+                faults;
+            report.total += faults;
+        }
+    }
+    return report;
+}
+
+double
+Accelerator::classificationError(const data::Dataset &test_set,
+                                 std::size_t limit) const
+{
+    return observedNetwork().evaluateError(test_set, limit);
+}
+
+} // namespace uvolt::accel

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The BRAM-backed NN accelerator under reduced-voltage operation
+ * (paper Section III).
+ *
+ * Weights live in the device's BRAMs; inputs stream from off-chip (here:
+ * a Dataset); matrix-multiply plus logsig runs on DSPs/LUTs fed from
+ * VCCINT, which stays at nominal. When VCCBRAM drops below Vmin, weight
+ * reads suffer the chip's deterministic faults, which is exactly what
+ * this class reproduces: it programs the image through a Placement,
+ * reads it back through the board's fault model at the current
+ * conditions, and evaluates classification error with the surviving
+ * weights.
+ */
+
+#ifndef UVOLT_ACCEL_ACCELERATOR_HH
+#define UVOLT_ACCEL_ACCELERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/placement.hh"
+#include "accel/weight_image.hh"
+#include "data/dataset.hh"
+#include "pmbus/board.hh"
+
+namespace uvolt::accel
+{
+
+/** Per-layer weight-bit fault counts at one operating point. */
+struct WeightFaultReport
+{
+    std::vector<std::uint64_t> faultsPerLayer;
+    std::uint64_t total = 0;
+};
+
+/** The deployed accelerator. */
+class Accelerator
+{
+  public:
+    /**
+     * Program @a image onto @a board through @a placement.
+     * fatal() if the placement does not fit the device.
+     */
+    Accelerator(pmbus::Board &board, WeightImage image,
+                Placement placement);
+
+    const WeightImage &image() const { return image_; }
+    const Placement &placement() const { return placement_; }
+
+    /** Re-write the BRAM contents (e.g. after a soft reset). */
+    void program();
+
+    /**
+     * Read every weight BRAM back under the board's present
+     * voltage/temperature/jitter and rebuild the quantized model the
+     * datapath would see.
+     */
+    nn::QuantizedModel observedModel() const;
+
+    /** Float network decoded from observedModel(). */
+    nn::Network observedNetwork() const;
+
+    /** Count weight-bit faults per layer at the present conditions. */
+    WeightFaultReport weightFaults() const;
+
+    /**
+     * Classification error with the present (possibly faulty) weights.
+     * @param limit evaluate only the first @a limit samples (0 = all)
+     */
+    double classificationError(const data::Dataset &test_set,
+                               std::size_t limit = 0) const;
+
+  private:
+    pmbus::Board &board_;
+    WeightImage image_;
+    Placement placement_;
+};
+
+} // namespace uvolt::accel
+
+#endif // UVOLT_ACCEL_ACCELERATOR_HH

@@ -1,0 +1,310 @@
+#include "accel/mitigation.hh"
+
+#include <bit>
+
+#include "accel/secded.hh"
+#include "util/logging.hh"
+
+namespace uvolt::accel
+{
+
+namespace
+{
+
+/** Faulty bits between an observed readback and the written rows. */
+std::uint64_t
+countDiffBits(const std::vector<std::uint16_t> &written,
+              const std::vector<std::uint16_t> &observed)
+{
+    std::uint64_t faults = 0;
+    for (std::size_t row = 0; row < written.size(); ++row) {
+        faults += static_cast<std::uint64_t>(std::popcount(
+            static_cast<unsigned>(written[row] ^ observed[row])));
+    }
+    return faults;
+}
+
+} // namespace
+
+MitigationLab::MitigationLab(pmbus::Board &board, WeightImage image,
+                             Placement placement,
+                             std::vector<int> protected_layers)
+    : board_(board), image_(std::move(image)),
+      placement_(std::move(placement)),
+      protectedLayers_(std::move(protected_layers))
+{
+    if (placement_.logicalCount() != image_.logicalBramCount())
+        fatal("mitigation lab: placement covers {} BRAMs, image needs {}",
+              placement_.logicalCount(), image_.logicalBramCount());
+    if (!placement_.fits(board_.device().bramCount()))
+        fatal("mitigation lab: placement does not fit the device");
+    if (protectedLayers_.empty()) {
+        protectedLayers_.push_back(
+            static_cast<int>(image_.layerSpans().size()) - 1);
+    }
+
+    // Free physical pool = everything the data placement left unused.
+    std::vector<bool> used(board_.device().bramCount(), false);
+    for (std::uint32_t l = 0; l < placement_.logicalCount(); ++l)
+        used[placement_.physicalOf(l)] = true;
+    std::vector<std::uint32_t> free_pool;
+    for (std::uint32_t p = 0; p < board_.device().bramCount(); ++p) {
+        if (!used[p])
+            free_pool.push_back(p);
+    }
+
+    replicaOf_.resize(image_.logicalBramCount());
+    hasReplica_.assign(image_.logicalBramCount(), false);
+    checkOf_.resize(image_.logicalBramCount());
+
+    std::size_t cursor = 0;
+    auto take_free = [&]() {
+        if (cursor >= free_pool.size())
+            fatal("mitigation lab: not enough spare BRAMs on {} "
+                  "(protect fewer layers)",
+                  board_.spec().name);
+        return free_pool[cursor++];
+    };
+
+    // TMR replicas: two spare BRAMs per protected logical BRAM.
+    for (const LayerSpan &span : image_.layerSpans()) {
+        if (!isProtected(span.layer))
+            continue;
+        for (std::uint32_t b = 0; b < span.bramCount; ++b) {
+            const std::uint32_t logical = span.firstLogicalBram + b;
+            replicaOf_[logical] = {take_free(), take_free()};
+            hasReplica_[logical] = true;
+        }
+    }
+
+    // SECDED check storage: one check BRAM serves two data BRAMs (two
+    // 6-bit check words pack per 16-bit check row).
+    std::uint32_t current_check = 0;
+    int half = 0;
+    for (const LayerSpan &span : image_.layerSpans()) {
+        if (!isProtected(span.layer))
+            continue;
+        for (std::uint32_t b = 0; b < span.bramCount; ++b) {
+            const std::uint32_t logical = span.firstLogicalBram + b;
+            if (half == 0)
+                current_check = take_free();
+            checkOf_[logical] =
+                {current_check, half * (fpga::bramRows / 2), true};
+            half = (half + 1) % 2;
+        }
+    }
+
+    program();
+}
+
+bool
+MitigationLab::isProtected(int layer) const
+{
+    for (int p : protectedLayers_) {
+        if (p == layer)
+            return true;
+    }
+    return false;
+}
+
+void
+MitigationLab::program()
+{
+    auto &device = board_.device();
+    for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
+         ++logical) {
+        const auto &rows = image_.rowsOf(logical);
+
+        auto write_rows = [&](std::uint32_t physical) {
+            auto &bram = device.bram(physical);
+            for (int row = 0; row < fpga::bramRows; ++row)
+                bram.writeRow(row, rows[static_cast<std::size_t>(row)]);
+        };
+        write_rows(placement_.physicalOf(logical));
+        if (hasReplica_[logical]) {
+            write_rows(replicaOf_[logical][0]);
+            write_rows(replicaOf_[logical][1]);
+        }
+        if (checkOf_[logical].valid) {
+            auto &check_bram = device.bram(checkOf_[logical].physical);
+            for (int row = 0; row < fpga::bramRows; row += 2) {
+                const std::uint8_t low = secdedEncode(
+                    rows[static_cast<std::size_t>(row)]);
+                const std::uint8_t high = secdedEncode(
+                    rows[static_cast<std::size_t>(row) + 1]);
+                check_bram.writeRow(
+                    checkOf_[logical].baseRow + row / 2,
+                    static_cast<std::uint16_t>(low | (high << 8)));
+            }
+        }
+    }
+}
+
+std::vector<std::uint16_t>
+MitigationLab::readPhysical(std::uint32_t physical) const
+{
+    return board_.readBramToHost(physical);
+}
+
+nn::QuantizedModel
+MitigationLab::readRaw(MitigationReport &report) const
+{
+    report = MitigationReport{};
+    std::vector<std::vector<std::uint16_t>> observed;
+    observed.reserve(image_.logicalBramCount());
+    for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
+         ++logical) {
+        observed.push_back(readPhysical(placement_.physicalOf(logical)));
+        report.rawFaults +=
+            countDiffBits(image_.rowsOf(logical), observed.back());
+    }
+    report.residualFaults = report.rawFaults;
+    return image_.decode(observed);
+}
+
+nn::QuantizedModel
+MitigationLab::readTemporalVote(int reads, MitigationReport &report) const
+{
+    if (reads < 1 || reads % 2 == 0)
+        fatal("temporal vote needs an odd positive read count, got {}",
+              reads);
+    report = MitigationReport{};
+    report.extraBrams = 0; // bandwidth cost, not storage
+
+    std::vector<std::vector<std::uint16_t>> observed;
+    observed.reserve(image_.logicalBramCount());
+    std::vector<int> votes(fpga::bramRows * fpga::bramCols);
+
+    for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
+         ++logical) {
+        const std::uint32_t physical = placement_.physicalOf(logical);
+        std::fill(votes.begin(), votes.end(), 0);
+        std::uint64_t raw_once = 0;
+        for (int r = 0; r < reads; ++r) {
+            board_.startRun(); // fresh supply jitter per read
+            const auto rows = readPhysical(physical);
+            if (r == 0)
+                raw_once = countDiffBits(image_.rowsOf(logical), rows);
+            for (int row = 0; row < fpga::bramRows; ++row) {
+                const std::uint16_t word =
+                    rows[static_cast<std::size_t>(row)];
+                for (int col = 0; col < fpga::bramCols; ++col)
+                    votes[static_cast<std::size_t>(
+                        row * fpga::bramCols + col)] +=
+                        (word >> col) & 1;
+            }
+        }
+        std::vector<std::uint16_t> voted(fpga::bramRows, 0);
+        for (int row = 0; row < fpga::bramRows; ++row) {
+            std::uint16_t word = 0;
+            for (int col = 0; col < fpga::bramCols; ++col) {
+                if (votes[static_cast<std::size_t>(
+                        row * fpga::bramCols + col)] * 2 > reads) {
+                    word = static_cast<std::uint16_t>(word | (1u << col));
+                }
+            }
+            voted[static_cast<std::size_t>(row)] = word;
+        }
+        report.rawFaults += raw_once;
+        report.residualFaults +=
+            countDiffBits(image_.rowsOf(logical), voted);
+        observed.push_back(std::move(voted));
+    }
+    report.corrected = report.rawFaults > report.residualFaults
+        ? report.rawFaults - report.residualFaults
+        : 0;
+    return image_.decode(observed);
+}
+
+nn::QuantizedModel
+MitigationLab::readSpatialTmr(MitigationReport &report) const
+{
+    report = MitigationReport{};
+    report.extraBrams = tmrOverheadBrams();
+
+    std::vector<std::vector<std::uint16_t>> observed;
+    observed.reserve(image_.logicalBramCount());
+    for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
+         ++logical) {
+        auto primary = readPhysical(placement_.physicalOf(logical));
+        report.rawFaults +=
+            countDiffBits(image_.rowsOf(logical), primary);
+        if (hasReplica_[logical]) {
+            const auto copy_a = readPhysical(replicaOf_[logical][0]);
+            const auto copy_b = readPhysical(replicaOf_[logical][1]);
+            for (int row = 0; row < fpga::bramRows; ++row) {
+                const auto index = static_cast<std::size_t>(row);
+                // Bitwise 2-of-3 majority.
+                primary[index] = static_cast<std::uint16_t>(
+                    (primary[index] & copy_a[index]) |
+                    (primary[index] & copy_b[index]) |
+                    (copy_a[index] & copy_b[index]));
+            }
+        }
+        report.residualFaults +=
+            countDiffBits(image_.rowsOf(logical), primary);
+        observed.push_back(std::move(primary));
+    }
+    report.corrected = report.rawFaults > report.residualFaults
+        ? report.rawFaults - report.residualFaults
+        : 0;
+    return image_.decode(observed);
+}
+
+nn::QuantizedModel
+MitigationLab::readSecded(MitigationReport &report) const
+{
+    report = MitigationReport{};
+    report.extraBrams = secdedOverheadBrams();
+
+    std::vector<std::vector<std::uint16_t>> observed;
+    observed.reserve(image_.logicalBramCount());
+    for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
+         ++logical) {
+        auto rows = readPhysical(placement_.physicalOf(logical));
+        report.rawFaults += countDiffBits(image_.rowsOf(logical), rows);
+        if (checkOf_[logical].valid) {
+            const auto check_rows =
+                readPhysical(checkOf_[logical].physical);
+            for (int row = 0; row < fpga::bramRows; ++row) {
+                const std::uint16_t packed = check_rows[
+                    static_cast<std::size_t>(
+                        checkOf_[logical].baseRow + row / 2)];
+                const auto check = static_cast<std::uint8_t>(
+                    (row % 2 == 0 ? packed : packed >> 8) & 0x3F);
+                const SecdedResult decoded = secdedDecode(
+                    rows[static_cast<std::size_t>(row)], check);
+                rows[static_cast<std::size_t>(row)] = decoded.data;
+                if (decoded.status == SecdedStatus::DoubleDetected)
+                    ++report.detectedUncorrectable;
+            }
+        }
+        report.residualFaults +=
+            countDiffBits(image_.rowsOf(logical), rows);
+        observed.push_back(std::move(rows));
+    }
+    report.corrected = report.rawFaults > report.residualFaults
+        ? report.rawFaults - report.residualFaults
+        : 0;
+    return image_.decode(observed);
+}
+
+std::uint32_t
+MitigationLab::tmrOverheadBrams() const
+{
+    std::uint32_t total = 0;
+    for (bool has : hasReplica_)
+        total += has ? 2 : 0;
+    return total;
+}
+
+std::uint32_t
+MitigationLab::secdedOverheadBrams() const
+{
+    std::uint32_t protected_count = 0;
+    for (const auto &slot : checkOf_)
+        protected_count += slot.valid;
+    return (protected_count + 1) / 2;
+}
+
+} // namespace uvolt::accel

@@ -1,0 +1,56 @@
+#include "accel/perf_model.hh"
+
+#include "util/logging.hh"
+
+namespace uvolt::accel
+{
+
+PerfModel::PerfModel(const std::vector<int> &topology,
+                     const fpga::PlatformSpec &spec,
+                     double logic_nominal_w, double bram_utilization,
+                     const DatapathConfig &config)
+    : topology_(topology), config_(config), bramPower_(spec),
+      logicPower_(logic_nominal_w, config.clockMhz),
+      bramUtilization_(bram_utilization)
+{
+    if (bram_utilization <= 0.0 || bram_utilization > 1.0)
+        fatal("PerfModel: BRAM utilization {} outside (0, 1]",
+              bram_utilization);
+    if (topology_.size() < 2)
+        fatal("PerfModel needs at least two layer sizes");
+    if (config_.macUnits <= 0)
+        fatal("PerfModel needs a positive MAC count");
+}
+
+std::uint64_t
+PerfModel::cyclesPerInference() const
+{
+    std::uint64_t cycles = 0;
+    for (std::size_t l = 0; l + 1 < topology_.size(); ++l) {
+        const auto macs = static_cast<std::uint64_t>(topology_[l]) *
+            static_cast<std::uint64_t>(topology_[l + 1]);
+        cycles += (macs + static_cast<std::uint64_t>(config_.macUnits) -
+                   1) /
+            static_cast<std::uint64_t>(config_.macUnits);
+        cycles += static_cast<std::uint64_t>(config_.pipelineDepth);
+    }
+    return cycles;
+}
+
+PerfPoint
+PerfModel::evaluate(const power::OperatingPoint &point) const
+{
+    PerfPoint result;
+    result.clockMhz = point.clockMhz;
+    result.cyclesPerInference = cyclesPerInference();
+    result.inferencesPerSecond = point.clockMhz * 1e6 /
+        static_cast<double>(result.cyclesPerInference);
+    result.totalPowerW =
+        bramUtilization_ * bramPower_.bramPower(point.vccBramV) +
+        logicPower_.watts(point.vccIntV, point.clockMhz);
+    result.energyPerInferenceMj = result.totalPowerW /
+        result.inferencesPerSecond * 1e3;
+    return result;
+}
+
+} // namespace uvolt::accel

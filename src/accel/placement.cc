@@ -1,0 +1,128 @@
+#include "accel/placement.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace uvolt::accel
+{
+
+Placement::Placement(std::vector<std::uint32_t> physical_of)
+    : physicalOf_(std::move(physical_of))
+{
+    std::unordered_set<std::uint32_t> seen;
+    seen.reserve(physicalOf_.size() * 2);
+    for (std::uint32_t physical : physicalOf_) {
+        if (!seen.insert(physical).second)
+            fatal("placement maps two logical BRAMs to physical {}",
+                  physical);
+    }
+}
+
+std::uint32_t
+Placement::physicalOf(std::uint32_t logical) const
+{
+    if (logical >= physicalOf_.size())
+        fatal("physicalOf: logical {} out of {}", logical,
+              physicalOf_.size());
+    return physicalOf_[logical];
+}
+
+bool
+Placement::fits(std::uint32_t device_bram_count) const
+{
+    for (std::uint32_t physical : physicalOf_) {
+        if (physical >= device_bram_count)
+            return false;
+    }
+    return true;
+}
+
+Placement
+defaultPlacement(const WeightImage &image)
+{
+    std::vector<std::uint32_t> map(image.logicalBramCount());
+    for (std::uint32_t i = 0; i < map.size(); ++i)
+        map[i] = i;
+    return Placement(std::move(map));
+}
+
+Placement
+randomPlacement(const WeightImage &image, std::uint32_t device_bram_count,
+                std::uint64_t seed)
+{
+    if (device_bram_count < image.logicalBramCount())
+        fatal("randomPlacement: image of {} BRAMs exceeds device pool {}",
+              image.logicalBramCount(), device_bram_count);
+    std::vector<std::uint32_t> pool(device_bram_count);
+    for (std::uint32_t i = 0; i < device_bram_count; ++i)
+        pool[i] = i;
+    Rng rng(combineSeeds(seed, hashSeed("random-placement")));
+    rng.shuffle(pool);
+    pool.resize(image.logicalBramCount());
+    return Placement(std::move(pool));
+}
+
+Placement
+icbpPlacement(const WeightImage &image, const harness::Fvm &fvm,
+              const IcbpOptions &options)
+{
+    const std::uint32_t device_count = fvm.bramCount();
+    if (device_count < image.logicalBramCount())
+        fatal("icbpPlacement: image of {} BRAMs exceeds device pool {}",
+              image.logicalBramCount(), device_count);
+
+    std::vector<int> protected_layers = options.protectedLayers;
+    if (protected_layers.empty()) {
+        protected_layers.push_back(
+            static_cast<int>(image.layerSpans().size()) - 1);
+    }
+
+    const std::vector<std::uint32_t> by_reliability =
+        fvm.bramsByReliability();
+    std::vector<bool> used(device_count, false);
+    std::vector<std::uint32_t> map(image.logicalBramCount());
+
+    // 1. Pin the protected layers to the most reliable physical BRAMs.
+    std::size_t reliable_cursor = 0;
+    for (int layer : protected_layers) {
+        const auto &spans = image.layerSpans();
+        if (layer < 0 || static_cast<std::size_t>(layer) >= spans.size())
+            fatal("icbpPlacement: protected layer {} out of {}", layer,
+                  spans.size());
+        const LayerSpan &span = spans[static_cast<std::size_t>(layer)];
+        for (std::uint32_t b = 0; b < span.bramCount; ++b) {
+            while (reliable_cursor < by_reliability.size() &&
+                   used[by_reliability[reliable_cursor]]) {
+                ++reliable_cursor;
+            }
+            if (reliable_cursor >= by_reliability.size())
+                fatal("icbpPlacement: ran out of reliable BRAMs");
+            const std::uint32_t physical = by_reliability[reliable_cursor];
+            map[span.firstLogicalBram + b] = physical;
+            used[physical] = true;
+        }
+    }
+
+    // 2. Everything else keeps the stock sequential order on what's left.
+    std::uint32_t cursor = 0;
+    const std::unordered_set<int> protected_set(protected_layers.begin(),
+                                                protected_layers.end());
+    for (const LayerSpan &span : image.layerSpans()) {
+        if (protected_set.contains(span.layer))
+            continue;
+        for (std::uint32_t b = 0; b < span.bramCount; ++b) {
+            while (cursor < device_count && used[cursor])
+                ++cursor;
+            if (cursor >= device_count)
+                fatal("icbpPlacement: device pool exhausted");
+            map[span.firstLogicalBram + b] = cursor;
+            used[cursor] = true;
+        }
+    }
+    return Placement(std::move(map));
+}
+
+} // namespace uvolt::accel

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * BRAM placement: assigning each logical BRAM of the weight image to a
+ * physical BRAM of the device.
+ *
+ * This is where the paper's contribution lives. The stock FPGA flow
+ * places BRAMs without regard to their undervolting vulnerability
+ * (defaultPlacement). ICBP — Intelligently-Constrained BRAM Placement
+ * (Section III-C, Fig 12b) — adds a constraint analogous to a Vivado
+ * Pblock: the logical BRAMs of the most fault-sensitive NN layer(s) are
+ * pinned to physical BRAMs the chip's FVM tags as low-vulnerable. The
+ * protected set is tiny (2 BRAMs for the paper's Layer4), so the
+ * constraint has negligible timing-slack cost.
+ */
+
+#ifndef UVOLT_ACCEL_PLACEMENT_HH
+#define UVOLT_ACCEL_PLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/weight_image.hh"
+#include "harness/fvm.hh"
+
+namespace uvolt::accel
+{
+
+/** An injective map from logical to physical BRAMs. */
+class Placement
+{
+  public:
+    /** @param physical_of physical index per logical BRAM (injective). */
+    explicit Placement(std::vector<std::uint32_t> physical_of);
+
+    std::uint32_t logicalCount() const
+    {
+        return static_cast<std::uint32_t>(physicalOf_.size());
+    }
+
+    /** Physical BRAM hosting a logical BRAM. */
+    std::uint32_t physicalOf(std::uint32_t logical) const;
+
+    /** Verify all targets fit a device pool of the given size. */
+    bool fits(std::uint32_t device_bram_count) const;
+
+    const std::vector<std::uint32_t> &mapping() const
+    {
+        return physicalOf_;
+    }
+
+  private:
+    std::vector<std::uint32_t> physicalOf_;
+};
+
+/** The stock flow: logical BRAM i placed at physical BRAM i. */
+Placement defaultPlacement(const WeightImage &image);
+
+/** Vulnerability-oblivious random placement (ablation baseline). */
+Placement randomPlacement(const WeightImage &image,
+                          std::uint32_t device_bram_count,
+                          std::uint64_t seed);
+
+/** Options for the ICBP placer. */
+struct IcbpOptions
+{
+    /**
+     * Layers to pin to low-vulnerable BRAMs, in priority order. Empty
+     * means "the last layer", the paper's choice.
+     */
+    std::vector<int> protectedLayers;
+};
+
+/**
+ * ICBP: place the protected layers' logical BRAMs onto the most
+ * reliable BRAMs of the chip's FVM (most reliable first), then place
+ * the remaining layers onto the remaining BRAMs in index order.
+ * fatal() if the device cannot host the image.
+ */
+Placement icbpPlacement(const WeightImage &image, const harness::Fvm &fvm,
+                        const IcbpOptions &options = {});
+
+} // namespace uvolt::accel
+
+#endif // UVOLT_ACCEL_PLACEMENT_HH

@@ -1,0 +1,124 @@
+#include "accel/secded.hh"
+
+#include <bit>
+
+namespace uvolt::accel
+{
+
+namespace
+{
+
+/**
+ * Hamming positions (1-based) of the 16 data bits inside the 21-bit
+ * codeword: every position that is not a power of two.
+ */
+constexpr int dataPosition[16] = {3,  5,  6,  7,  9,  10, 11, 12,
+                                  13, 14, 15, 17, 18, 19, 20, 21};
+
+/** Parity-bit positions. */
+constexpr int parityPosition[5] = {1, 2, 4, 8, 16};
+
+/** Expand a 16-bit data word into the 21-bit codeword (parity zeroed). */
+std::uint32_t
+expand(std::uint16_t data)
+{
+    std::uint32_t code = 0;
+    for (int bit = 0; bit < 16; ++bit) {
+        if ((data >> bit) & 1u)
+            code |= 1u << (dataPosition[bit] - 1);
+    }
+    return code;
+}
+
+/** Compute the five Hamming parity bits of a codeword. */
+std::uint32_t
+hammingParity(std::uint32_t code)
+{
+    std::uint32_t parity = 0;
+    for (int p = 0; p < 5; ++p) {
+        const int mask_bit = parityPosition[p];
+        std::uint32_t acc = 0;
+        for (int pos = 1; pos <= 21; ++pos) {
+            if ((pos & mask_bit) && ((code >> (pos - 1)) & 1u))
+                acc ^= 1u;
+        }
+        parity |= acc << p;
+    }
+    return parity;
+}
+
+/** Extract the 16 data bits from a codeword. */
+std::uint16_t
+compress(std::uint32_t code)
+{
+    std::uint16_t data = 0;
+    for (int bit = 0; bit < 16; ++bit) {
+        if ((code >> (dataPosition[bit] - 1)) & 1u)
+            data = static_cast<std::uint16_t>(data | (1u << bit));
+    }
+    return data;
+}
+
+} // namespace
+
+std::uint8_t
+secdedEncode(std::uint16_t data)
+{
+    std::uint32_t code = expand(data);
+    const std::uint32_t parity = hammingParity(code);
+    for (int p = 0; p < 5; ++p) {
+        if ((parity >> p) & 1u)
+            code |= 1u << (parityPosition[p] - 1);
+    }
+    const std::uint32_t overall =
+        static_cast<std::uint32_t>(std::popcount(code)) & 1u;
+    return static_cast<std::uint8_t>(parity | (overall << 5));
+}
+
+SecdedResult
+secdedDecode(std::uint16_t data, std::uint8_t check)
+{
+    // Rebuild the received 21-bit codeword from data + stored parity.
+    std::uint32_t code = expand(data);
+    for (int p = 0; p < 5; ++p) {
+        if ((check >> p) & 1u)
+            code |= 1u << (parityPosition[p] - 1);
+    }
+
+    // Parity of the received codeword including its parity bits is zero
+    // for a clean word; a single flipped bit makes it spell out that
+    // bit's position (textbook Hamming property).
+    const std::uint32_t syndrome = hammingParity(code);
+
+    const std::uint32_t overall_received = (check >> 5) & 1u;
+    const std::uint32_t overall_computed =
+        static_cast<std::uint32_t>(std::popcount(code)) & 1u;
+    const bool overall_mismatch = overall_received != overall_computed;
+
+    SecdedResult result;
+    if (syndrome == 0 && !overall_mismatch) {
+        result.data = data;
+        result.status = SecdedStatus::Clean;
+        return result;
+    }
+    if (syndrome != 0 && overall_mismatch) {
+        // Single error at the syndrome position (possibly a parity bit).
+        if (syndrome <= 21)
+            code ^= 1u << (syndrome - 1);
+        result.data = compress(code);
+        result.status = SecdedStatus::Corrected;
+        return result;
+    }
+    if (syndrome == 0 && overall_mismatch) {
+        // The overall parity bit itself flipped; data is intact.
+        result.data = data;
+        result.status = SecdedStatus::Corrected;
+        return result;
+    }
+    // syndrome != 0 && overall parity matches: double error.
+    result.data = data;
+    result.status = SecdedStatus::DoubleDetected;
+    return result;
+}
+
+} // namespace uvolt::accel

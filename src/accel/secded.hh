@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Hamming(21,16) + overall parity SECDED codec for 16-bit BRAM rows.
+ *
+ * The paper's related work (Section IV-A.4) lists ECC, TMR, and Razor
+ * as generic mitigation techniques that could cover undervolting
+ * faults, but at timing/area/power cost — which motivates ICBP's
+ * zero-overhead placement approach instead. This codec exists so the
+ * library can quantify that comparison: every 16-bit weight row gets a
+ * 6-bit check word (5 Hamming parity bits + 1 overall parity), able to
+ * correct any single bit error and detect double errors per row.
+ *
+ * Layout: data bits d0..d15 occupy Hamming positions that are not
+ * powers of two in a 21-bit codeword; parity bits p1, p2, p4, p8, p16
+ * sit at the power-of-two positions; bit 5 of the check word is the
+ * overall (DED) parity of the 21-bit codeword.
+ */
+
+#ifndef UVOLT_ACCEL_SECDED_HH
+#define UVOLT_ACCEL_SECDED_HH
+
+#include <cstdint>
+
+namespace uvolt::accel
+{
+
+/** Outcome of a SECDED decode. */
+enum class SecdedStatus : std::uint8_t
+{
+    Clean,          ///< syndrome zero, parity OK
+    Corrected,      ///< single error corrected (data or check bit)
+    DoubleDetected, ///< two errors detected, not correctable
+};
+
+/** Decoded row plus what the decoder had to do. */
+struct SecdedResult
+{
+    std::uint16_t data;
+    SecdedStatus status;
+};
+
+/** Number of check bits per 16-bit row. */
+constexpr int secdedCheckBits = 6;
+
+/** Compute the 6-bit check word for a 16-bit data row. */
+std::uint8_t secdedEncode(std::uint16_t data);
+
+/**
+ * Decode an observed (data, check) pair, correcting a single bit error
+ * anywhere in the codeword.
+ */
+SecdedResult secdedDecode(std::uint16_t data, std::uint8_t check);
+
+} // namespace uvolt::accel
+
+#endif // UVOLT_ACCEL_SECDED_HH

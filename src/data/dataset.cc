@@ -1,0 +1,47 @@
+#include "data/dataset.hh"
+
+#include "util/logging.hh"
+
+namespace uvolt::data
+{
+
+Dataset::Dataset(std::string name, int features, int classes)
+    : name_(std::move(name)), features_(features), classes_(classes)
+{
+    if (features <= 0 || classes <= 1)
+        fatal("Dataset '{}' needs positive features and >= 2 classes",
+              name_);
+}
+
+void
+Dataset::add(std::span<const float> features, int label)
+{
+    if (static_cast<int>(features.size()) != features_)
+        fatal("sample width {} != dataset width {}", features.size(),
+              features_);
+    if (label < 0 || label >= classes_)
+        fatal("label {} outside [0, {})", label, classes_);
+    data_.insert(data_.end(), features.begin(), features.end());
+    labels_.push_back(label);
+}
+
+std::span<const float>
+Dataset::sample(std::size_t index) const
+{
+    if (index >= labels_.size())
+        fatal("sample {} out of dataset of {}", index, labels_.size());
+    return {data_.data() + index * static_cast<std::size_t>(features_),
+            static_cast<std::size_t>(features_)};
+}
+
+Dataset
+Dataset::head(std::size_t count) const
+{
+    Dataset out(name_, features_, classes_);
+    const std::size_t n = count < size() ? count : size();
+    for (std::size_t i = 0; i < n; ++i)
+        out.add(sample(i), label(i));
+    return out;
+}
+
+} // namespace uvolt::data

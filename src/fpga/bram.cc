@@ -1,0 +1,80 @@
+#include "fpga/bram.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace uvolt::fpga
+{
+
+namespace
+{
+
+void
+checkRow(int row)
+{
+    if (row < 0 || row >= bramRows)
+        fatal("BRAM row {} out of [0, {})", row, bramRows);
+}
+
+void
+checkCol(int col)
+{
+    if (col < 0 || col >= bramCols)
+        fatal("BRAM col {} out of [0, {})", col, bramCols);
+}
+
+} // namespace
+
+Bram::Bram() : rows_(bramRows, 0) {}
+
+void
+Bram::writeRow(int row, std::uint16_t value)
+{
+    checkRow(row);
+    rows_[static_cast<std::size_t>(row)] = value;
+}
+
+std::uint16_t
+Bram::readRow(int row) const
+{
+    checkRow(row);
+    return rows_[static_cast<std::size_t>(row)];
+}
+
+void
+Bram::fill(std::uint16_t pattern)
+{
+    for (auto &row : rows_)
+        row = pattern;
+}
+
+bool
+Bram::getBit(int row, int col) const
+{
+    checkRow(row);
+    checkCol(col);
+    return (rows_[static_cast<std::size_t>(row)] >> col) & 1u;
+}
+
+void
+Bram::setBit(int row, int col, bool value)
+{
+    checkRow(row);
+    checkCol(col);
+    auto &word = rows_[static_cast<std::size_t>(row)];
+    const std::uint16_t mask = static_cast<std::uint16_t>(1u << col);
+    word = value ? static_cast<std::uint16_t>(word | mask)
+                 : static_cast<std::uint16_t>(word & ~mask);
+}
+
+int
+Bram::countOnes() const
+{
+    int total = 0;
+    for (std::uint16_t word : rows_)
+        total += std::popcount(word);
+    return total;
+}
+
+} // namespace uvolt::fpga

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Block RAM (BRAM) model.
+ *
+ * The studied 7-series devices expose "basic" BRAM blocks of 16 kbits
+ * organized as 1024 rows x 16 columns of bitcells (Table I). Each row
+ * additionally carries two parity bits which the paper excludes from its
+ * experiments; we model them as present but likewise excluded from fault
+ * accounting.
+ */
+
+#ifndef UVOLT_FPGA_BRAM_HH
+#define UVOLT_FPGA_BRAM_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace uvolt::fpga
+{
+
+/** Rows of bitcells per basic BRAM block. */
+constexpr int bramRows = 1024;
+
+/** Data bitcells per row (parity excluded). */
+constexpr int bramCols = 16;
+
+/** Parity bits per row (present on silicon, excluded from experiments). */
+constexpr int bramParityCols = 2;
+
+/** Data bits per basic BRAM block. */
+constexpr int bramBits = bramRows * bramCols;
+
+/** Address of one bitcell inside a device's BRAM pool. */
+struct BitAddress
+{
+    std::uint32_t bram; ///< index into the device's BRAM pool
+    std::uint16_t row;  ///< 0 .. bramRows-1
+    std::uint8_t col;   ///< 0 .. bramCols-1
+
+    bool operator==(const BitAddress &other) const = default;
+
+    /** Flat bit offset of this cell within its BRAM. */
+    std::uint32_t
+    bitOffset() const
+    {
+        return static_cast<std::uint32_t>(row) * bramCols + col;
+    }
+};
+
+/**
+ * One 16 kbit BRAM block: 1024 rows of 16-bit data words.
+ *
+ * Contents model the value *written* by the design; what a read returns
+ * under reduced voltage is decided by the fault model layered on top
+ * (vmodel::FaultModel), mirroring the real hardware where the stored
+ * charge is intact but the read path fails timing.
+ */
+class Bram
+{
+  public:
+    Bram();
+
+    /** Write one 16-bit row. */
+    void writeRow(int row, std::uint16_t value);
+
+    /** Read back one 16-bit row (fault-free; see class comment). */
+    std::uint16_t readRow(int row) const;
+
+    /** Fill every row with the same pattern (e.g. 0xFFFF). */
+    void fill(std::uint16_t pattern);
+
+    /** Read or write a single bitcell. */
+    bool getBit(int row, int col) const;
+    void setBit(int row, int col, bool value);
+
+    /** Number of "1" bitcells currently stored. */
+    int countOnes() const;
+
+    /** Raw row storage, 1024 words. */
+    std::span<const std::uint16_t> rows() const { return rows_; }
+    std::span<std::uint16_t> rows() { return rows_; }
+
+  private:
+    std::vector<std::uint16_t> rows_;
+};
+
+} // namespace uvolt::fpga
+
+#endif // UVOLT_FPGA_BRAM_HH

@@ -1,0 +1,85 @@
+#include "fpga/device.hh"
+
+#include "util/logging.hh"
+
+namespace uvolt::fpga
+{
+
+Device::Device(const PlatformSpec &spec)
+    : spec_(spec),
+      floorplan_(Floorplan::columnGrid(spec.bramCount, spec.columnHeight)),
+      brams_(spec.bramCount),
+      vccBram_(RailId::VccBram, spec.vnomMv),
+      vccInt_(RailId::VccInt, spec.vnomMv),
+      vccAux_(RailId::VccAux, 1800)
+{
+}
+
+Bram &
+Device::bram(std::uint32_t index)
+{
+    if (index >= brams_.size())
+        fatal("BRAM index {} out of pool of {}", index, brams_.size());
+    return brams_[index];
+}
+
+const Bram &
+Device::bram(std::uint32_t index) const
+{
+    if (index >= brams_.size())
+        fatal("BRAM index {} out of pool of {}", index, brams_.size());
+    return brams_[index];
+}
+
+void
+Device::fillAll(std::uint16_t pattern)
+{
+    for (auto &bram : brams_)
+        bram.fill(pattern);
+}
+
+std::uint64_t
+Device::totalBits() const
+{
+    return static_cast<std::uint64_t>(brams_.size()) * bramBits;
+}
+
+std::uint64_t
+Device::totalOnes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &bram : brams_)
+        total += static_cast<std::uint64_t>(bram.countOnes());
+    return total;
+}
+
+VoltageRail &
+Device::rail(RailId id)
+{
+    switch (id) {
+      case RailId::VccBram:
+        return vccBram_;
+      case RailId::VccInt:
+        return vccInt_;
+      case RailId::VccAux:
+        return vccAux_;
+    }
+    panic("Device::rail: invalid RailId");
+}
+
+const VoltageRail &
+Device::rail(RailId id) const
+{
+    return const_cast<Device *>(this)->rail(id);
+}
+
+bool
+Device::operational() const
+{
+    // Either rail dropping below its crash level halts the design; the
+    // paper observes the DONE pin unset below Vcrash.
+    return vccBram_.millivolts() >= spec_.calib.bramVcrashMv &&
+           vccInt_.millivolts() >= spec_.calib.intVcrashMv;
+}
+
+} // namespace uvolt::fpga

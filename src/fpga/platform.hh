@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Catalog of the tested FPGA platforms (paper Table I) plus the
+ * measured-behaviour calibration anchors extracted from the paper's
+ * evaluation (Sections II-B .. II-D).
+ *
+ * The spec half of PlatformSpec is a verbatim transcription of Table I.
+ * The calibration half encodes the *measured* quantities the paper reports
+ * (Vmin/Vcrash per rail, fault rate at Vcrash, run-to-run jitter, ITD
+ * slope, per-BRAM variability); the vmodel and power modules consume these
+ * anchors so every downstream experiment reproduces the published curves.
+ */
+
+#ifndef UVOLT_FPGA_PLATFORM_HH
+#define UVOLT_FPGA_PLATFORM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uvolt::fpga
+{
+
+/** Measured undervolting behaviour of one platform (calibration anchors). */
+struct UvCalibration
+{
+    // --- Fig 1: voltage regions -----------------------------------------
+    int bramVminMv;   ///< lowest fault-free VCCBRAM level
+    int bramVcrashMv; ///< lowest operable VCCBRAM level
+    int intVminMv;    ///< lowest fault-free VCCINT level
+    int intVcrashMv;  ///< lowest operable VCCINT level
+
+    // --- Fig 3 / Table II: fault behaviour at 50 degC, pattern 0xFFFF ---
+    double faultsPerMbitAtVcrash; ///< e.g. 652 on VC707
+    double runJitterMv;           ///< per-run supply noise (stability)
+
+    // --- Fig 5..7: per-BRAM variability ----------------------------------
+    double neverFaultyFraction; ///< BRAMs with zero faults even at Vcrash
+    double maxBramFaultRate;    ///< worst single-BRAM rate at Vcrash
+    double spatialCorrLength;   ///< within-die correlation length (sites)
+
+    // --- Fig 8: inverse thermal dependence (ITD) -------------------------
+    double itdMvPerC; ///< effective-voltage shift per degC above 50 degC
+
+    // --- Fig 3 / Fig 10: power -------------------------------------------
+    double bramPowerNomW;   ///< BRAM rail power at Vnom
+    double dynamicFraction; ///< dynamic share of BRAM power at Vnom
+    double leakageSlope;    ///< exponential leakage slope (1/V)
+};
+
+/** One row of Table I plus its calibration anchors. */
+struct PlatformSpec
+{
+    std::string name;        ///< board name, e.g. "VC707"
+    std::string family;      ///< device family, e.g. "Virtex-7"
+    std::string chipModel;   ///< e.g. "XC7VX485T-ffg1761-2"
+    std::string speedGrade;  ///< e.g. "-2"
+    std::string serialNumber;///< board serial; seeds the chip's fault map
+    std::uint32_t bramCount; ///< basic 16 kbit BRAM blocks
+    int columnHeight;        ///< floorplan sites per BRAM column
+    int processNm;           ///< manufacturing node (28 nm for all)
+    int vnomMv;              ///< nominal rail level (1000 mV for all)
+    UvCalibration calib;     ///< measured undervolting behaviour
+
+    /** Device data capacity in Mbit (2^20 bits), parity excluded. */
+    double totalMbit() const;
+
+    /** Expected total faults at Vcrash (0xFFFF, 50 degC). */
+    double expectedFaultsAtVcrash() const;
+
+    /**
+     * Exponential fault-growth slope k (1/V): the expected fault count at
+     * VCCBRAM = v is expectedFaultsAtVcrash * exp(-k (v - Vcrash)),
+     * normalized so roughly one fault remains at Vmin.
+     */
+    double faultGrowthSlope() const;
+};
+
+/** All four tested platforms, in Table I order. */
+const std::vector<PlatformSpec> &platformCatalog();
+
+/**
+ * Extension platforms beyond the paper (its stated future work is
+ * "different FPGA technologies of vendors"): a 20 nm UltraScale-class
+ * and a 16 nm FinFET UltraScale+-class device with extrapolated
+ * calibration — lower nominal rails, narrower guardbands, and the much
+ * weaker inverse thermal dependence expected of FinFETs. These are
+ * projections, not measurements; they never appear in the Table I
+ * reproduction benches.
+ */
+const std::vector<PlatformSpec> &extensionPlatformCatalog();
+
+/**
+ * Look up a platform by name; fatal() on unknown names. Searches
+ * Table I first, then the extension catalog.
+ */
+const PlatformSpec &findPlatform(const std::string &name);
+
+/** Mbit unit used throughout the paper's fault-rate reporting. */
+constexpr double bitsPerMbit = 1024.0 * 1024.0;
+
+} // namespace uvolt::fpga
+
+#endif // UVOLT_FPGA_PLATFORM_HH

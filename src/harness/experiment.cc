@@ -1,0 +1,216 @@
+#include "harness/experiment.hh"
+
+#include <algorithm>
+
+#include "harness/fault_analyzer.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace uvolt::harness
+{
+
+std::string
+PatternSpec::label() const
+{
+    if (kind == Kind::Fixed)
+        return strFormat("16'h{:04X}", word);
+    return strFormat("random-{}%",
+                     static_cast<int>(oneDensity * 100.0 + 0.5));
+}
+
+void
+fillPattern(pmbus::Board &board, const PatternSpec &pattern)
+{
+    auto &device = board.device();
+    if (pattern.kind == PatternSpec::Kind::Fixed) {
+        device.fillAll(pattern.word);
+        return;
+    }
+    for (std::uint32_t b = 0; b < device.bramCount(); ++b) {
+        Rng rng(combineSeeds(pattern.seed, b));
+        auto &bram = device.bram(b);
+        for (int row = 0; row < fpga::bramRows; ++row) {
+            std::uint16_t word = 0;
+            for (int col = 0; col < fpga::bramCols; ++col) {
+                if (rng.chance(pattern.oneDensity))
+                    word = static_cast<std::uint16_t>(word | (1u << col));
+            }
+            bram.writeRow(row, word);
+        }
+    }
+}
+
+double
+RegionResult::guardband() const
+{
+    return 1.0 - static_cast<double>(vminMv) / static_cast<double>(vnomMv);
+}
+
+namespace
+{
+
+/** Count device-wide BRAM faults under the current run conditions. */
+std::uint64_t
+countDeviceFaults(const pmbus::Board &board)
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t b = 0; b < board.device().bramCount(); ++b)
+        total += static_cast<std::uint64_t>(board.countBramFaults(b));
+    return total;
+}
+
+/** Whether the probed rail shows any fault at the present level. */
+bool
+probeFaulty(pmbus::Board &board, fpga::RailId rail, int runs)
+{
+    if (rail == fpga::RailId::VccBram) {
+        for (int run = 0; run < runs; ++run) {
+            board.startRun();
+            if (countDeviceFaults(board) > 0)
+                return true;
+        }
+        return false;
+    }
+    return board.internalLogicFaulty();
+}
+
+} // namespace
+
+RegionResult
+discoverRegions(pmbus::Board &board, fpga::RailId rail, int runs_per_level)
+{
+    if (rail == fpga::RailId::VccAux)
+        fatal("discoverRegions: VCCAUX is not underscaled in this study");
+
+    board.softReset();
+    if (rail == fpga::RailId::VccBram)
+        fillPattern(board, PatternSpec::allOnes());
+
+    RegionResult result;
+    result.platform = board.spec().name;
+    result.rail = rail;
+    result.vnomMv = board.spec().vnomMv;
+    result.vminMv = board.spec().vnomMv;
+    result.vcrashMv = 0;
+
+    const int step = pmbus::voutStepMv;
+    int first_faulty_mv = 0;
+
+    for (int mv = result.vnomMv; mv >= 0; mv -= step) {
+        if (rail == fpga::RailId::VccBram)
+            board.setVccBramMv(mv);
+        else
+            board.setVccIntMv(mv);
+
+        if (!board.donePin()) {
+            // CRASH region entered: the last operable level was one step
+            // above (paper: DONE pin unset below Vcrash).
+            result.vcrashMv = mv + step;
+            break;
+        }
+        if (first_faulty_mv == 0 &&
+            probeFaulty(board, rail, runs_per_level)) {
+            first_faulty_mv = mv;
+        }
+    }
+    if (result.vcrashMv == 0)
+        panic("{}: no crash level found on {}", result.platform,
+              railName(rail));
+
+    // Vmin is the lowest *fault-free* level: one step above the first
+    // level where faults manifested (or Vcrash if none ever did).
+    result.vminMv =
+        first_faulty_mv == 0 ? result.vcrashMv : first_faulty_mv + step;
+
+    board.softReset();
+    return result;
+}
+
+const SweepPoint &
+SweepResult::atVcrash() const
+{
+    if (points.empty())
+        fatal("sweep has no points");
+    return points.back();
+}
+
+const SweepPoint &
+SweepResult::at(int vcc_bram_mv) const
+{
+    for (const auto &point : points) {
+        if (point.vccBramMv == vcc_bram_mv)
+            return point;
+    }
+    fatal("sweep has no point at {} mV", vcc_bram_mv);
+}
+
+SweepResult
+runCriticalSweep(pmbus::Board &board, const SweepOptions &options)
+{
+    const auto &spec = board.spec();
+    const int from =
+        options.fromMv > 0 ? options.fromMv : spec.calib.bramVminMv;
+    const int down_to =
+        options.downToMv > 0 ? options.downToMv : spec.calib.bramVcrashMv;
+    if (down_to > from)
+        fatal("runCriticalSweep: downTo {} mV above from {} mV", down_to,
+              from);
+
+    SweepResult result;
+    result.platform = spec.name;
+    result.pattern = options.pattern;
+    result.ambientC = board.ambientC();
+    result.runsPerLevel = options.runsPerLevel;
+
+    board.softReset();
+    fillPattern(board, options.pattern);
+
+    const std::uint64_t total_bits = board.device().totalBits();
+
+    for (int mv = from; mv >= down_to; mv -= options.stepMv) {
+        board.setVccBramMv(mv);
+        if (!board.donePin())
+            break; // stepped past Vcrash
+
+        SweepPoint point;
+        point.vccBramMv = mv;
+
+        std::vector<double> run_counts;
+        run_counts.reserve(static_cast<std::size_t>(options.runsPerLevel));
+        for (int run = 0; run < options.runsPerLevel; ++run) {
+            board.startRun();
+            const auto count =
+                static_cast<double>(countDeviceFaults(board));
+            run_counts.push_back(count);
+            point.runStats.add(count);
+        }
+        point.medianFaults = median(run_counts);
+        point.faultsPerMbit = faultsPerMbit(point.medianFaults, total_bits);
+        point.bramPowerW = board.measureBramPowerW();
+
+        if (options.collectPerBram) {
+            // One jitter-free full readback through the serial link: the
+            // deterministic per-BRAM map plus flip-polarity accounting.
+            board.startReferenceRun();
+            point.perBramFaults.resize(board.device().bramCount());
+            FaultSummary summary;
+            std::vector<FaultObservation> faults;
+            for (std::uint32_t b = 0; b < board.device().bramCount(); ++b) {
+                faults.clear();
+                const auto observed = board.readBramToHost(b);
+                diffBram(board.device().bram(b), observed, b, faults,
+                         summary);
+                point.perBramFaults[b] = static_cast<int>(faults.size());
+            }
+            point.oneToZeroFraction = summary.oneToZeroFraction();
+        }
+
+        result.points.push_back(std::move(point));
+    }
+
+    board.softReset();
+    return result;
+}
+
+} // namespace uvolt::harness

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The characterization methodology of the paper, Section II-A.
+ *
+ * Two campaigns are implemented:
+ *
+ *  - discoverRegions(): sweep a rail down from nominal in 10 mV steps to
+ *    locate the SAFE / CRITICAL / CRASH boundaries of Fig 1 (Vmin = the
+ *    lowest fault-free level, Vcrash = the lowest operable level).
+ *
+ *  - runCriticalSweep(): the paper's Listing 1 — for each 10 mV step from
+ *    Vmin down to Vcrash, repeat 100 times: settle, read all BRAMs back
+ *    to the host, and analyze fault rate and location. Reported rates are
+ *    medians of the 100 runs; stability statistics (Table II) come from
+ *    the same population.
+ */
+
+#ifndef UVOLT_HARNESS_EXPERIMENT_HH
+#define UVOLT_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/voltage_rail.hh"
+#include "pmbus/board.hh"
+#include "util/stats.hh"
+
+namespace uvolt::harness
+{
+
+/** Initial BRAM content for a campaign. */
+struct PatternSpec
+{
+    enum class Kind
+    {
+        Fixed,   ///< every row gets the same 16-bit word
+        Random,  ///< i.i.d. bits with the given "1" density
+    };
+
+    Kind kind = Kind::Fixed;
+    std::uint16_t word = 0xFFFF; ///< for Kind::Fixed
+    double oneDensity = 0.5;     ///< for Kind::Random
+    std::uint64_t seed = 1;      ///< for Kind::Random
+
+    /** The paper's default pattern (highest fault rate). */
+    static PatternSpec allOnes() { return {}; }
+
+    static PatternSpec
+    fixed(std::uint16_t word)
+    {
+        PatternSpec spec;
+        spec.word = word;
+        return spec;
+    }
+
+    static PatternSpec
+    random(double one_density, std::uint64_t seed)
+    {
+        PatternSpec spec;
+        spec.kind = Kind::Random;
+        spec.oneDensity = one_density;
+        spec.seed = seed;
+        return spec;
+    }
+
+    /** Human-readable label, e.g. "16'hFFFF" or "random-50%". */
+    std::string label() const;
+};
+
+/** Initialize every BRAM of the board per the pattern. */
+void fillPattern(pmbus::Board &board, const PatternSpec &pattern);
+
+/** Fig 1 result for one rail of one platform. */
+struct RegionResult
+{
+    std::string platform;
+    fpga::RailId rail;
+    int vnomMv;
+    int vminMv;   ///< lowest level with zero observed faults
+    int vcrashMv; ///< lowest level at which the design still operates
+
+    /** Guardband fraction: (Vnom - Vmin) / Vnom. */
+    double guardband() const;
+};
+
+/**
+ * Locate the SAFE/CRITICAL/CRASH boundaries of a rail by stepping down
+ * from nominal. BRAM faults are probed with pattern 0xFFFF; VCCINT
+ * faults are probed through the design's self-check path.
+ */
+RegionResult discoverRegions(pmbus::Board &board, fpga::RailId rail,
+                             int runs_per_level = 5);
+
+/** One voltage level of a Listing-1 sweep. */
+struct SweepPoint
+{
+    int vccBramMv = 0;
+
+    /** Fault counts over the run population (whole device). */
+    RunningStats runStats;
+
+    /** Median fault count of the runs (what the paper reports). */
+    double medianFaults = 0.0;
+
+    /** Median fault count normalized per Mbit. */
+    double faultsPerMbit = 0.0;
+
+    /** Deterministic (zero-jitter) per-BRAM fault counts at this level. */
+    std::vector<int> perBramFaults;
+
+    /** Power-meter reading of the BRAM rail at this level, watts. */
+    double bramPowerW = 0.0;
+
+    /** Share of observed flips that read "1" as "0" (zero-jitter run). */
+    double oneToZeroFraction = 1.0;
+};
+
+/** A full Listing-1 campaign. */
+struct SweepResult
+{
+    std::string platform;
+    PatternSpec pattern;
+    double ambientC = 50.0;
+    int runsPerLevel = 100;
+    std::vector<SweepPoint> points; ///< ordered Vmin -> Vcrash
+
+    /** The point at the lowest operable voltage. */
+    const SweepPoint &atVcrash() const;
+
+    /** Point at a specific level; fatal() if the sweep skipped it. */
+    const SweepPoint &at(int vcc_bram_mv) const;
+};
+
+/** Options for runCriticalSweep(). */
+struct SweepOptions
+{
+    PatternSpec pattern = PatternSpec::allOnes();
+    int runsPerLevel = 100;  ///< the paper's statistical population
+    int stepMv = 10;         ///< regulator DAC granularity
+    int fromMv = 0;          ///< 0 = start at the platform's Vmin
+    int downToMv = 0;        ///< 0 = stop at the platform's Vcrash
+    bool collectPerBram = true;
+};
+
+/**
+ * The paper's Listing 1: sweep VCCBRAM through the CRITICAL region and
+ * measure fault statistics at every step. Leaves the board soft-reset.
+ */
+SweepResult runCriticalSweep(pmbus::Board &board,
+                             const SweepOptions &options = {});
+
+} // namespace uvolt::harness
+
+#endif // UVOLT_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,113 @@
+#include "harness/fvm.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "fpga/bram.hh"
+#include "util/logging.hh"
+
+namespace uvolt::harness
+{
+
+Fvm::Fvm(std::string platform, const fpga::Floorplan &floorplan,
+         std::vector<int> per_bram_faults)
+    : platform_(std::move(platform)), faults_(std::move(per_bram_faults))
+{
+    if (faults_.size() != floorplan.bramCount())
+        fatal("FVM: {} fault entries for {} BRAMs", faults_.size(),
+              floorplan.bramCount());
+}
+
+double
+Fvm::rateOf(std::uint32_t bram) const
+{
+    return static_cast<double>(faults_[bram]) /
+        static_cast<double>(fpga::bramBits);
+}
+
+double
+Fvm::faultFreeFraction() const
+{
+    const auto zero = static_cast<double>(
+        std::count(faults_.begin(), faults_.end(), 0));
+    return zero / static_cast<double>(faults_.size());
+}
+
+double
+Fvm::maxRate() const
+{
+    const int max = *std::max_element(faults_.begin(), faults_.end());
+    return static_cast<double>(max) / static_cast<double>(fpga::bramBits);
+}
+
+double
+Fvm::meanRate() const
+{
+    const double sum = std::accumulate(faults_.begin(), faults_.end(), 0.0);
+    return sum / static_cast<double>(faults_.size()) /
+        static_cast<double>(fpga::bramBits);
+}
+
+std::vector<std::uint32_t>
+Fvm::bramsByReliability() const
+{
+    std::vector<std::uint32_t> order(faults_.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                         return faults_[a] < faults_[b];
+                     });
+    return order;
+}
+
+std::string
+Fvm::render(const fpga::Floorplan &floorplan) const
+{
+    const int max_faults =
+        std::max(1, *std::max_element(faults_.begin(), faults_.end()));
+    std::string art;
+    art.reserve(static_cast<std::size_t>(floorplan.height() + 1) *
+                static_cast<std::size_t>(floorplan.width() + 1));
+
+    // Top of the die first (highest y).
+    for (int y = floorplan.height() - 1; y >= 0; --y) {
+        for (int x = 0; x < floorplan.width(); ++x) {
+            const auto bram = floorplan.bramAt({x, y});
+            if (!bram) {
+                art.push_back(' ');
+                continue;
+            }
+            const int count = faults_[*bram];
+            if (count == 0) {
+                art.push_back('.');
+                continue;
+            }
+            // Log-ish buckets 1..9 then '#' for the extreme tail.
+            const double frac =
+                static_cast<double>(count) / static_cast<double>(max_faults);
+            if (frac >= 0.85) {
+                art.push_back('#');
+            } else {
+                const int bucket =
+                    1 + static_cast<int>(frac * 9.0);
+                art.push_back(static_cast<char>(
+                    '0' + std::min(bucket, 9)));
+            }
+        }
+        art.push_back('\n');
+    }
+    return art;
+}
+
+Fvm
+fvmFromSweep(const SweepResult &sweep, const fpga::Floorplan &floorplan)
+{
+    if (sweep.points.empty())
+        fatal("fvmFromSweep: empty sweep");
+    const auto &deepest = sweep.points.back();
+    if (deepest.perBramFaults.empty())
+        fatal("fvmFromSweep: sweep ran without per-BRAM collection");
+    return Fvm(sweep.platform, floorplan, deepest.perBramFaults);
+}
+
+} // namespace uvolt::harness

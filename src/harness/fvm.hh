@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fault Variation Map (FVM) extraction and rendering.
+ *
+ * The paper's key enabling artifact (Section II-C.3, Figs 6-7): because
+ * undervolting faults are deterministic and stick to physical BRAM
+ * locations across recompilations, the per-BRAM fault rates observed in a
+ * characterization sweep can be stored as a chip-specific map keyed by
+ * floorplan site. The ICBP placement technique (Section III-C) consumes
+ * this map to find low-vulnerable BRAMs.
+ */
+
+#ifndef UVOLT_HARNESS_FVM_HH
+#define UVOLT_HARNESS_FVM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/floorplan.hh"
+#include "harness/experiment.hh"
+
+namespace uvolt::harness
+{
+
+/** A chip's fault variation map. */
+class Fvm
+{
+  public:
+    /**
+     * Build from per-BRAM fault counts (e.g. a SweepPoint's map, or the
+     * accumulation of a whole sweep as in Fig 6).
+     */
+    Fvm(std::string platform, const fpga::Floorplan &floorplan,
+        std::vector<int> per_bram_faults);
+
+    const std::string &platform() const { return platform_; }
+
+    std::uint32_t bramCount() const
+    {
+        return static_cast<std::uint32_t>(faults_.size());
+    }
+
+    /** Fault count of one BRAM. */
+    int faultsOf(std::uint32_t bram) const { return faults_[bram]; }
+
+    /** Fault rate of one BRAM as a fraction of its 16 kbit capacity. */
+    double rateOf(std::uint32_t bram) const;
+
+    /** Fraction of BRAMs with zero faults (38.9% on VC707 at Vcrash). */
+    double faultFreeFraction() const;
+
+    /** Max / mean per-BRAM fault rate over the whole chip. */
+    double maxRate() const;
+    double meanRate() const;
+
+    /**
+     * BRAM indices sorted by ascending fault count (ties by index), i.e.
+     * most reliable first; the ICBP placer consumes a prefix of this.
+     */
+    std::vector<std::uint32_t> bramsByReliability() const;
+
+    /**
+     * Render the map as ASCII art on the floorplan, one character per
+     * site (' ' empty, '.' zero faults, then 1-9/# buckets), mirroring
+     * the paper's Fig 6/7 heat maps.
+     */
+    std::string render(const fpga::Floorplan &floorplan) const;
+
+    const std::vector<int> &perBramFaults() const { return faults_; }
+
+  private:
+    std::string platform_;
+    std::vector<int> faults_;
+};
+
+/**
+ * Accumulate a whole critical-region sweep into one FVM: each BRAM's
+ * entry is its fault count at the lowest swept voltage (the union map the
+ * paper plots in Fig 6 when scaling Vmin -> Vcrash; counts are monotone
+ * in depth, so the deepest point dominates).
+ */
+Fvm fvmFromSweep(const SweepResult &sweep,
+                 const fpga::Floorplan &floorplan);
+
+} // namespace uvolt::harness
+
+#endif // UVOLT_HARNESS_FVM_HH

@@ -1,0 +1,93 @@
+#include "harness/fvm_io.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace uvolt::harness
+{
+
+bool
+saveFvm(const Fvm &fvm, const fpga::Floorplan &floorplan,
+        const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream out(path);
+    if (!out) {
+        warn("saveFvm: cannot write '{}'", path);
+        return false;
+    }
+    out << "#uvolt-fvm v1 " << fvm.platform() << ' '
+        << floorplan.width() << ' ' << floorplan.height() << ' '
+        << fvm.bramCount() << '\n';
+    for (std::uint32_t b = 0; b < fvm.bramCount(); ++b) {
+        const fpga::Site site = floorplan.siteOf(b);
+        out << site.x << ',' << site.y << ',' << fvm.faultsOf(b) << '\n';
+    }
+    return static_cast<bool>(out);
+}
+
+std::optional<Fvm>
+loadFvm(const fpga::Floorplan &floorplan, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+
+    std::string header;
+    if (!std::getline(in, header))
+        return std::nullopt;
+    std::istringstream head(header);
+    std::string magic, platform;
+    int width = 0, height = 0;
+    std::uint32_t count = 0;
+    head >> magic >> platform >> width >> height >> count;
+    if (magic != "#uvolt-fvm" || platform.empty())
+        return std::nullopt;
+    // The stream also swallowed the "v1" token as platform if the
+    // format string shifted; re-parse strictly.
+    {
+        std::istringstream strict(header);
+        std::string tag, version;
+        strict >> tag >> version >> platform >> width >> height >> count;
+        if (tag != "#uvolt-fvm" || version != "v1")
+            return std::nullopt;
+    }
+    if (width != floorplan.width() || height != floorplan.height() ||
+        count != floorplan.bramCount()) {
+        warn("loadFvm: '{}' is for a {}x{}/{} floorplan, expected "
+             "{}x{}/{}",
+             path, width, height, count, floorplan.width(),
+             floorplan.height(), floorplan.bramCount());
+        return std::nullopt;
+    }
+
+    std::vector<int> faults(count, -1);
+    std::string line;
+    std::uint32_t rows = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        int x = 0, y = 0, value = 0;
+        char comma1 = 0, comma2 = 0;
+        std::istringstream fields(line);
+        fields >> x >> comma1 >> y >> comma2 >> value;
+        if (!fields || comma1 != ',' || comma2 != ',' || value < 0)
+            return std::nullopt;
+        const auto bram = floorplan.bramAt({x, y});
+        if (!bram || faults[*bram] >= 0)
+            return std::nullopt; // unknown or duplicate site
+        faults[*bram] = value;
+        ++rows;
+    }
+    if (rows != count)
+        return std::nullopt;
+    return Fvm(platform, floorplan, std::move(faults));
+}
+
+} // namespace uvolt::harness

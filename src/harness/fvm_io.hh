@@ -1,0 +1,44 @@
+/**
+ * @file
+ * FVM persistence.
+ *
+ * In the paper's flow the FVM is "extracted as a pre-process stage" and
+ * later consumed by the compile-time ICBP constraint (Fig 12b): the
+ * characterization campaign and the placement run are separate tool
+ * invocations. These helpers serialize an Fvm to a small versioned text
+ * format (CSV with a header line) so a chip characterized once can be
+ * reused by any number of later builds.
+ *
+ * Format:
+ *   #uvolt-fvm v1 <platform> <width> <height> <bramCount>
+ *   x,y,faults                 (one line per occupied site)
+ */
+
+#ifndef UVOLT_HARNESS_FVM_IO_HH
+#define UVOLT_HARNESS_FVM_IO_HH
+
+#include <optional>
+#include <string>
+
+#include "fpga/floorplan.hh"
+#include "harness/fvm.hh"
+
+namespace uvolt::harness
+{
+
+/** Write an FVM to a file; returns false (with a warning) on failure. */
+bool saveFvm(const Fvm &fvm, const fpga::Floorplan &floorplan,
+             const std::string &path);
+
+/**
+ * Load an FVM previously written by saveFvm().
+ * Returns nullopt if the file is missing, malformed, or does not match
+ * the given floorplan geometry (a map for a different chip/shape must
+ * never be silently accepted).
+ */
+std::optional<Fvm> loadFvm(const fpga::Floorplan &floorplan,
+                           const std::string &path);
+
+} // namespace uvolt::harness
+
+#endif // UVOLT_HARNESS_FVM_IO_HH

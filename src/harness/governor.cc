@@ -1,0 +1,111 @@
+#include "harness/governor.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace uvolt::harness
+{
+
+namespace
+{
+
+/** Clean steps at the hold level before re-probing lower (ITD chase). */
+constexpr int reprobeAfterCleanSteps = 8;
+
+} // namespace
+
+VoltageGovernor::VoltageGovernor(pmbus::Board &board, const Fvm &fvm,
+                                 const std::vector<std::uint32_t> &reserved,
+                                 const GovernorConfig &config)
+    : board_(board), config_(config)
+{
+    if (config_.canaryCount <= 0)
+        fatal("governor needs at least one canary BRAM");
+
+    std::vector<bool> taken(board_.device().bramCount(), false);
+    for (std::uint32_t physical : reserved) {
+        if (physical >= taken.size())
+            fatal("reserved BRAM {} outside the device pool", physical);
+        taken[physical] = true;
+    }
+
+    // Most vulnerable spare BRAMs first: they fault before the payload.
+    const auto order = fvm.bramsByReliability();
+    for (auto it = order.rbegin();
+         it != order.rend() &&
+         canaries_.size() < static_cast<std::size_t>(config_.canaryCount);
+         ++it) {
+        if (!taken[*it])
+            canaries_.push_back(*it);
+    }
+    if (canaries_.size() < static_cast<std::size_t>(config_.canaryCount))
+        fatal("governor: only {} spare BRAMs for {} canaries",
+              canaries_.size(), config_.canaryCount);
+
+    for (std::uint32_t canary : canaries_)
+        board_.device().bram(canary).fill(0xFFFF);
+
+    setpointMv_ = board_.vccBramMv();
+    floorMv_ = config_.floorMv > 0 ? config_.floorMv
+                                   : board_.spec().calib.bramVcrashMv;
+}
+
+int
+VoltageGovernor::countCanaryFaults()
+{
+    board_.startRun();
+    int faults = 0;
+    for (std::uint32_t canary : canaries_)
+        faults += board_.countBramFaults(canary);
+    return faults;
+}
+
+GovernorStep
+VoltageGovernor::step()
+{
+    GovernorStep record;
+    record.canaryFaults = countCanaryFaults();
+
+    static_assert(reprobeAfterCleanSteps > 1);
+    if (record.canaryFaults > 0) {
+        // Back off and hold: don't descend to this level again until a
+        // long clean streak suggests conditions changed (ITD).
+        holdMv_ = setpointMv_ + config_.guardSteps * config_.stepMv;
+        cleanStreak_ = 0;
+        setpointMv_ = std::min(holdMv_, board_.spec().vnomMv);
+        record.backedOff = true;
+    } else {
+        ++cleanStreak_;
+        int floor = std::max(floorMv_, holdMv_);
+        if (cleanStreak_ >= reprobeAfterCleanSteps && holdMv_ > 0) {
+            // Conditions may have improved; forget the hold once.
+            holdMv_ = 0;
+            cleanStreak_ = 0;
+            floor = floorMv_;
+        }
+        setpointMv_ = std::max(setpointMv_ - config_.stepMv, floor);
+    }
+    board_.setVccBramMv(setpointMv_);
+    record.commandedMv = setpointMv_;
+    return record;
+}
+
+std::vector<GovernorStep>
+VoltageGovernor::settle(int max_steps)
+{
+    std::vector<GovernorStep> trace;
+    int previous = -1;
+    for (int i = 0; i < max_steps; ++i) {
+        trace.push_back(step());
+        const int commanded = trace.back().commandedMv;
+        if (commanded == previous && !trace.back().backedOff &&
+            trace.back().canaryFaults == 0) {
+            break;
+        }
+        previous = commanded;
+    }
+    return trace;
+}
+
+} // namespace uvolt::harness

@@ -1,0 +1,115 @@
+#include "harness/structure.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/stats.hh"
+
+namespace uvolt::harness
+{
+
+double
+BramStructure::columnChiSquare() const
+{
+    if (faults == 0)
+        return 0.0;
+    const double expected =
+        static_cast<double>(faults) / fpga::bramCols;
+    double chi = 0.0;
+    for (int count : perColumn) {
+        const double diff = count - expected;
+        chi += diff * diff / expected;
+    }
+    return chi;
+}
+
+double
+BramStructure::topTwoColumnShare() const
+{
+    if (faults == 0)
+        return 0.0;
+    auto sorted = perColumn;
+    std::sort(sorted.rbegin(), sorted.rend());
+    return static_cast<double>(sorted[0] + sorted[1]) /
+        static_cast<double>(faults);
+}
+
+double
+StructureReport::meanTopTwoShare(int min_faults) const
+{
+    RunningStats stats;
+    for (const auto &entry : perBram) {
+        if (entry.faults >= min_faults)
+            stats.add(entry.topTwoColumnShare());
+    }
+    return stats.mean();
+}
+
+double
+StructureReport::medianChiSquare(int min_faults) const
+{
+    std::vector<double> scores;
+    for (const auto &entry : perBram) {
+        if (entry.faults >= min_faults)
+            scores.push_back(entry.columnChiSquare());
+    }
+    return scores.empty() ? 0.0 : median(std::move(scores));
+}
+
+std::string
+renderBramMap(const BramStructure &bram,
+              const std::vector<FaultObservation> &faults, int fold_rows)
+{
+    if (fold_rows <= 0)
+        fold_rows = 32;
+    const int bands = (fpga::bramRows + fold_rows - 1) / fold_rows;
+    std::vector<std::array<int, fpga::bramCols>> grid(
+        static_cast<std::size_t>(bands));
+    for (auto &band : grid)
+        band.fill(0);
+    for (const FaultObservation &fault : faults) {
+        if (fault.bram != bram.bram)
+            continue;
+        ++grid[static_cast<std::size_t>(fault.row / fold_rows)]
+              [fault.col];
+    }
+
+    std::string art;
+    art.reserve(static_cast<std::size_t>(bands) * (fpga::bramCols + 1));
+    // MSB (col 15) on the left, like a register diagram.
+    for (int band = 0; band < bands; ++band) {
+        for (int col = fpga::bramCols - 1; col >= 0; --col) {
+            const int count = grid[static_cast<std::size_t>(band)]
+                                  [col];
+            if (count == 0)
+                art.push_back('.');
+            else if (count <= 9)
+                art.push_back(static_cast<char>('0' + count));
+            else
+                art.push_back('#');
+        }
+        art.push_back('\n');
+    }
+    return art;
+}
+
+StructureReport
+analyzeStructure(const std::vector<FaultObservation> &faults)
+{
+    StructureReport report;
+    std::map<std::uint32_t, BramStructure> by_bram;
+    for (const FaultObservation &fault : faults) {
+        auto &entry = by_bram[fault.bram];
+        entry.bram = fault.bram;
+        ++entry.faults;
+        ++entry.perColumn[fault.col];
+        ++report.columnTotals[fault.col];
+        ++report.totalFaults;
+    }
+    report.perBram.reserve(by_bram.size());
+    for (auto &[bram, entry] : by_bram)
+        report.perBram.push_back(entry);
+    return report;
+}
+
+} // namespace uvolt::harness

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Within-BRAM structural analysis of fault locations.
+ *
+ * The paper characterizes faults per BRAM; this library additionally
+ * models weak-column clustering inside each BRAM (see
+ * vmodel::VariationParams). These statistics let experiments *measure*
+ * that structure from readback data instead of trusting the model: a
+ * chi-square uniformity score of the per-column fault histogram, the
+ * share of faults on each BRAM's dominant columns, and aggregate
+ * row/column histograms for the whole chip.
+ */
+
+#ifndef UVOLT_HARNESS_STRUCTURE_HH
+#define UVOLT_HARNESS_STRUCTURE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fpga/bram.hh"
+#include "harness/fault_analyzer.hh"
+
+namespace uvolt::harness
+{
+
+/** Column-structure statistics of one BRAM's observed faults. */
+struct BramStructure
+{
+    std::uint32_t bram = 0;
+    int faults = 0;
+    std::array<int, fpga::bramCols> perColumn{};
+
+    /**
+     * Chi-square statistic of the per-column histogram against the
+     * uniform hypothesis (15 degrees of freedom). Large values mean the
+     * faults cluster on a few columns.
+     */
+    double columnChiSquare() const;
+
+    /** Share of this BRAM's faults on its two most-faulty columns. */
+    double topTwoColumnShare() const;
+};
+
+/** Chip-level aggregation. */
+struct StructureReport
+{
+    std::vector<BramStructure> perBram; ///< only BRAMs with faults
+    std::array<std::uint64_t, fpga::bramCols> columnTotals{};
+    std::uint64_t totalFaults = 0;
+
+    /** Mean top-two-column share over BRAMs with >= min_faults faults. */
+    double meanTopTwoShare(int min_faults = 8) const;
+
+    /** Median per-BRAM chi-square over BRAMs with >= min_faults. */
+    double medianChiSquare(int min_faults = 8) const;
+};
+
+/** Build the report from a flat list of fault observations. */
+StructureReport analyzeStructure(
+    const std::vector<FaultObservation> &faults);
+
+/**
+ * The 95th-percentile chi-square critical value for 15 degrees of
+ * freedom: per-BRAM scores above this reject column uniformity.
+ */
+constexpr double chiSquare95Df15 = 24.996;
+
+/**
+ * Render one BRAM's fault locations as ASCII art: 16 columns wide, the
+ * 1024 rows folded into @a fold_rows bands ('.' clean band, '1'-'9'/'#'
+ * by faulty-cell count in the band). Lets an experimenter *see* the
+ * weak-column structure of a hot BRAM.
+ */
+std::string renderBramMap(const BramStructure &bram,
+                          const std::vector<FaultObservation> &faults,
+                          int fold_rows = 32);
+
+} // namespace uvolt::harness
+
+#endif // UVOLT_HARNESS_STRUCTURE_HH

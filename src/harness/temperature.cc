@@ -1,0 +1,52 @@
+#include "harness/temperature.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace uvolt::harness
+{
+
+double
+TemperatureStudy::reductionFactor(double hot_c, double cold_c) const
+{
+    const SweepResult *hot = nullptr;
+    const SweepResult *cold = nullptr;
+    for (const auto &entry : series) {
+        if (std::abs(entry.ambientC - hot_c) < 0.5)
+            hot = &entry.sweep;
+        if (std::abs(entry.ambientC - cold_c) < 0.5)
+            cold = &entry.sweep;
+    }
+    if (!hot || !cold)
+        fatal("temperature study lacks {} or {} degC series", hot_c, cold_c);
+    const double hot_rate = hot->atVcrash().medianFaults;
+    const double cold_rate = cold->atVcrash().medianFaults;
+    if (hot_rate <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return cold_rate / hot_rate;
+}
+
+TemperatureStudy
+runTemperatureStudy(pmbus::Board &board, const std::vector<double> &temps_c,
+                    int runs_per_level)
+{
+    TemperatureStudy study;
+    study.platform = board.spec().name;
+
+    const double original_ambient = board.ambientC();
+    for (double temp : temps_c) {
+        board.setAmbientC(temp);
+        SweepOptions options;
+        options.runsPerLevel = runs_per_level;
+        options.collectPerBram = false;
+        TemperatureSeries entry;
+        entry.ambientC = temp;
+        entry.sweep = runCriticalSweep(board, options);
+        study.series.push_back(std::move(entry));
+    }
+    board.setAmbientC(original_ambient);
+    return study;
+}
+
+} // namespace uvolt::harness

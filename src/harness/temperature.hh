@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Heat-chamber campaign (paper Section II-D, Fig 8).
+ *
+ * The board goes into a temperature-regulated chamber and the critical
+ * sweep is repeated at several on-board temperatures. Because of Inverse
+ * Thermal Dependence, heating the 28 nm parts *reduces* the undervolting
+ * fault rate (3x on VC707 from 50 to 80 degC).
+ */
+
+#ifndef UVOLT_HARNESS_TEMPERATURE_HH
+#define UVOLT_HARNESS_TEMPERATURE_HH
+
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "pmbus/board.hh"
+
+namespace uvolt::harness
+{
+
+/** One temperature's sweep. */
+struct TemperatureSeries
+{
+    double ambientC;
+    SweepResult sweep;
+};
+
+/** A full heat-chamber campaign. */
+struct TemperatureStudy
+{
+    std::string platform;
+    std::vector<TemperatureSeries> series;
+
+    /**
+     * Fault-rate reduction factor between two temperatures at the
+     * platform's Vcrash (e.g. >3x on VC707 between 50 and 80 degC).
+     */
+    double reductionFactor(double hot_c, double cold_c) const;
+};
+
+/**
+ * Run the critical sweep at each requested on-board temperature.
+ * Per-BRAM collection is disabled (the figures only need rates).
+ */
+TemperatureStudy runTemperatureStudy(pmbus::Board &board,
+                                     const std::vector<double> &temps_c,
+                                     int runs_per_level = 100);
+
+} // namespace uvolt::harness
+
+#endif // UVOLT_HARNESS_TEMPERATURE_HH

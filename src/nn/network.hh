@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fully-connected feed-forward network (the paper's Table III model).
+ *
+ * The baseline is a 6-layer topology (784, 1024, 512, 256, 128, 10):
+ * logistic-sigmoid ("logsig") activations on the hidden layers and a
+ * softmax output that yields the class distribution. This module holds
+ * the float reference model used for training and as the fault-free
+ * accuracy baseline; the fixed-point, BRAM-backed version lives in the
+ * accel module.
+ */
+
+#ifndef UVOLT_NN_NETWORK_HH
+#define UVOLT_NN_NETWORK_HH
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.hh"
+
+namespace uvolt::nn
+{
+
+/** Logistic sigmoid, the paper's hidden activation. */
+float logsig(float x);
+
+/** In-place softmax over a span of logits. */
+void softmaxInPlace(std::span<float> logits);
+
+/** One dense (fully-connected) weight layer. */
+class DenseLayer
+{
+  public:
+    DenseLayer(int inputs, int outputs);
+
+    int inputs() const { return inputs_; }
+    int outputs() const { return outputs_; }
+
+    /** Row-major weights: weight(o, i) multiplies input i for output o. */
+    float weight(int output, int input) const;
+    void setWeight(int output, int input, float value);
+
+    float bias(int output) const { return biases_[
+        static_cast<std::size_t>(output)]; }
+    void setBias(int output, float value);
+
+    /** Flat storage access (used by the quantizer and the accelerator). */
+    std::span<const float> weights() const { return weights_; }
+    std::span<float> weights() { return weights_; }
+    std::span<const float> biases() const { return biases_; }
+    std::span<float> biases() { return biases_; }
+
+    /** z = W x + b. @a z must have outputs() entries. */
+    void forward(std::span<const float> x, std::span<float> z) const;
+
+    /** Largest absolute weight (per-layer precision analysis, Fig 9). */
+    float maxAbsWeight() const;
+
+  private:
+    int inputs_;
+    int outputs_;
+    std::vector<float> weights_;
+    std::vector<float> biases_;
+};
+
+/** The full network. */
+class Network
+{
+  public:
+    /**
+     * @param layer_sizes neuron counts per layer, length >= 2; e.g. the
+     * paper's {784, 1024, 512, 256, 128, 10}.
+     */
+    explicit Network(std::vector<int> layer_sizes);
+
+    /** Number of weight layers (layer_sizes.size() - 1). */
+    int layerCount() const { return static_cast<int>(layers_.size()); }
+
+    DenseLayer &layer(int index);
+    const DenseLayer &layer(int index) const;
+
+    const std::vector<int> &layerSizes() const { return sizes_; }
+
+    /** Total weight parameters (~1.5 M for the paper's topology). */
+    std::size_t totalWeights() const;
+
+    /** Glorot-uniform weight initialization, deterministic in seed. */
+    void initWeights(std::uint64_t seed);
+
+    /**
+     * Forward pass: hidden layers through logsig, output through
+     * softmax. Returns the class distribution.
+     */
+    std::vector<float> infer(std::span<const float> input) const;
+
+    /** Arg-max classification. */
+    int classify(std::span<const float> input) const;
+
+    /**
+     * Classification error on a dataset (fraction mis-classified).
+     * @param limit evaluate only the first @a limit samples (0 = all)
+     */
+    double evaluateError(const data::Dataset &set,
+                         std::size_t limit = 0) const;
+
+  private:
+    std::vector<int> sizes_;
+    std::vector<DenseLayer> layers_;
+};
+
+} // namespace uvolt::nn
+
+#endif // UVOLT_NN_NETWORK_HH

@@ -1,0 +1,112 @@
+#include "pmbus/board.hh"
+
+#include "power/power_model.hh"
+#include "util/logging.hh"
+
+namespace uvolt::pmbus
+{
+
+Board::Board(const fpga::PlatformSpec &spec,
+             const vmodel::VariationParams &params)
+    : device_(spec),
+      faults_(std::make_unique<vmodel::ChipFaultModel>(
+          spec, device_.floorplan(), params)),
+      regulator_([this] { return ambientC_; }),
+      runRng_(combineSeeds(hashSeed(spec.serialNumber),
+                           hashSeed("run-jitter")))
+{
+    pageBram_ = regulator_.addPage("VCCBRAM", spec.vnomMv, [this](int mv) {
+        device_.rail(fpga::RailId::VccBram).setMillivolts(mv);
+    });
+    pageInt_ = regulator_.addPage("VCCINT", spec.vnomMv, [this](int mv) {
+        device_.rail(fpga::RailId::VccInt).setMillivolts(mv);
+    });
+}
+
+void
+Board::setVccBramMv(int mv)
+{
+    regulator_.writeByte(Command::Page,
+                         static_cast<std::uint8_t>(pageBram_));
+    regulator_.writeWord(Command::VoutCommand,
+                         encodeLinear16(mv / 1000.0));
+}
+
+void
+Board::setVccIntMv(int mv)
+{
+    regulator_.writeByte(Command::Page, static_cast<std::uint8_t>(pageInt_));
+    regulator_.writeWord(Command::VoutCommand,
+                         encodeLinear16(mv / 1000.0));
+}
+
+int
+Board::vccBramMv() const
+{
+    return device_.rail(fpga::RailId::VccBram).millivolts();
+}
+
+void
+Board::softReset()
+{
+    setVccBramMv(spec().vnomMv);
+    setVccIntMv(spec().vnomMv);
+    runJitterV_ = 0.0;
+}
+
+void
+Board::startRun()
+{
+    runJitterV_ = runRng_.gaussian(0.0, spec().calib.runJitterMv / 1000.0);
+}
+
+bool
+Board::internalLogicFaulty() const
+{
+    return device_.rail(fpga::RailId::VccInt).millivolts() <
+        spec().calib.intVminMv;
+}
+
+double
+Board::effectiveVoltage() const
+{
+    return faults_->effectiveVoltage(vccBramMv() / 1000.0, ambientC_,
+                                     runJitterV_);
+}
+
+std::vector<std::uint16_t>
+Board::readBramToHost(std::uint32_t bram) const
+{
+    if (!donePin()) {
+        fatal("{}: readback attempted below Vcrash (DONE pin low)",
+              spec().name);
+    }
+    auto observed =
+        faults_->readBram(device_.bram(bram), bram, effectiveVoltage());
+    // Ship through the (reliable) serial path, as the real setup does.
+    auto frame = const_cast<SerialLink &>(link_).transfer(
+        SerialLink::packWords(observed));
+    if (!frame.verified())
+        panic("serial link corrupted a frame; the link must be reliable");
+    return SerialLink::unpackWords(frame.payload);
+}
+
+int
+Board::countBramFaults(std::uint32_t bram) const
+{
+    if (!donePin()) {
+        fatal("{}: readback attempted below Vcrash (DONE pin low)",
+              spec().name);
+    }
+    return faults_->countBramFaults(device_.bram(bram), bram,
+                                    effectiveVoltage());
+}
+
+double
+Board::measureBramPowerW() const
+{
+    power::RailPowerModel model(spec());
+    return model.bramPower(vccBramMv() / 1000.0);
+}
+
+} // namespace uvolt::pmbus

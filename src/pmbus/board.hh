@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A full experimental board: the device, its chip-specific fault
+ * personality, the UCD9248 regulator, the serial readback link, a power
+ * meter, and the (optional) heat chamber around it. This is the
+ * software equivalent of the paper's Fig 2 setup; the characterization
+ * harness only talks to this class, never to the fault model directly,
+ * so the measurement path matches the hardware methodology.
+ */
+
+#ifndef UVOLT_PMBUS_BOARD_HH
+#define UVOLT_PMBUS_BOARD_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fpga/device.hh"
+#include "fpga/platform.hh"
+#include "pmbus/serial_link.hh"
+#include "pmbus/ucd9248.hh"
+#include "util/rng.hh"
+#include "vmodel/chip_fault_model.hh"
+
+namespace uvolt::pmbus
+{
+
+/** One instrumented board under test. */
+class Board
+{
+  public:
+    /**
+     * Power up the board described by @a spec at nominal voltages,
+     * 50 degC ambient, with the chip personality derived from the spec's
+     * serial number.
+     * @param params fault-model shape overrides (ablation studies)
+     */
+    explicit Board(const fpga::PlatformSpec &spec,
+                   const vmodel::VariationParams &params = {});
+
+    const fpga::PlatformSpec &spec() const { return device_.spec(); }
+    fpga::Device &device() { return device_; }
+    const fpga::Device &device() const { return device_; }
+    const vmodel::ChipFaultModel &faultModel() const { return *faults_; }
+    Ucd9248 &regulator() { return regulator_; }
+    SerialLink &link() { return link_; }
+
+    /** Command VCCBRAM through the PMBus path (PAGE + VOUT_COMMAND). */
+    void setVccBramMv(int mv);
+
+    /** Command VCCINT through the PMBus path. */
+    void setVccIntMv(int mv);
+
+    /** Current VCCBRAM level as the regulator reports it. */
+    int vccBramMv() const;
+
+    /** Heat-chamber control: set the on-board ambient temperature. */
+    void setAmbientC(double temp_c) { ambientC_ = temp_c; }
+    double ambientC() const { return ambientC_; }
+
+    /** DONE pin: high while the configuration is alive (not crashed). */
+    bool donePin() const { return device_.operational(); }
+
+    /** Restore nominal voltages after a crash probe (soft reset). */
+    void softReset();
+
+    /**
+     * Begin a measurement run: draws this run's supply jitter. The paper
+     * repeats each voltage level 100 times; the tiny run-to-run spread it
+     * reports (Table II) comes from exactly this noise source.
+     */
+    void startRun();
+
+    /**
+     * Begin a jitter-free reference run: the deterministic median-run
+     * conditions used when extracting per-BRAM maps.
+     */
+    void startReferenceRun() { runJitterV_ = 0.0; }
+
+    /**
+     * Self-check of the programmed design's internal logic (substitute
+     * for observing computation errors when VCCINT is underscaled):
+     * true when VCCINT has entered its CRITICAL region.
+     */
+    bool internalLogicFaulty() const;
+
+    /**
+     * Read one BRAM back to the host over the serial link under the
+     * present voltage/temperature/jitter conditions.
+     * fatal() if the device has crashed (DONE low).
+     */
+    std::vector<std::uint16_t> readBramToHost(std::uint32_t bram) const;
+
+    /**
+     * Count faults in one BRAM against its written contents without
+     * the serial transfer (fast path for large sweeps; bit-identical
+     * outcome to diffing readBramToHost()).
+     */
+    int countBramFaults(std::uint32_t bram) const;
+
+    /** Effective bitcell voltage under the current conditions. */
+    double effectiveVoltage() const;
+
+    /** Power-meter reading of the BRAM rail, watts. */
+    double measureBramPowerW() const;
+
+  private:
+    fpga::Device device_;
+    std::unique_ptr<vmodel::ChipFaultModel> faults_;
+    Ucd9248 regulator_;
+    SerialLink link_;
+    int pageBram_;
+    int pageInt_;
+    double ambientC_ = vmodel::referenceTempC;
+    double runJitterV_ = 0.0;
+    Rng runRng_;
+};
+
+} // namespace uvolt::pmbus
+
+#endif // UVOLT_PMBUS_BOARD_HH

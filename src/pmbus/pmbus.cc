@@ -1,0 +1,30 @@
+#include "pmbus/pmbus.hh"
+
+#include <cmath>
+
+namespace uvolt::pmbus
+{
+
+std::uint16_t
+encodeLinear16(double volts)
+{
+    if (volts < 0.0)
+        volts = 0.0;
+    const double scaled = std::round(std::ldexp(volts, -linear16Exponent));
+    return scaled > 65535.0 ? 65535u : static_cast<std::uint16_t>(scaled);
+}
+
+double
+decodeLinear16(std::uint16_t mantissa)
+{
+    return std::ldexp(static_cast<double>(mantissa), linear16Exponent);
+}
+
+std::uint8_t
+encodeVoutMode()
+{
+    // Linear mode, 5-bit two's-complement exponent in the low bits.
+    return static_cast<std::uint8_t>(linear16Exponent & 0x1f);
+}
+
+} // namespace uvolt::pmbus

@@ -1,0 +1,62 @@
+#include "pmbus/serial_link.hh"
+
+#include "util/logging.hh"
+
+namespace uvolt::pmbus
+{
+
+std::uint16_t
+crc16(const std::vector<std::uint8_t> &bytes)
+{
+    // CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, no reflection.
+    std::uint16_t crc = 0xFFFF;
+    for (std::uint8_t byte : bytes) {
+        crc ^= static_cast<std::uint16_t>(byte) << 8;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 0x8000)
+                crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+            else
+                crc = static_cast<std::uint16_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
+SerialFrame
+SerialLink::transfer(const std::vector<std::uint8_t> &payload)
+{
+    SerialFrame frame;
+    frame.payload = payload;
+    frame.crc = crc16(payload);
+    ++framesSent_;
+    bytesSent_ += payload.size();
+    return frame;
+}
+
+std::vector<std::uint8_t>
+SerialLink::packWords(const std::vector<std::uint16_t> &words)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(words.size() * 2);
+    for (std::uint16_t word : words) {
+        bytes.push_back(static_cast<std::uint8_t>(word & 0xFF));
+        bytes.push_back(static_cast<std::uint8_t>(word >> 8));
+    }
+    return bytes;
+}
+
+std::vector<std::uint16_t>
+SerialLink::unpackWords(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() % 2 != 0)
+        fatal("unpackWords: odd byte count {}", bytes.size());
+    std::vector<std::uint16_t> words;
+    words.reserve(bytes.size() / 2);
+    for (std::size_t i = 0; i < bytes.size(); i += 2) {
+        words.push_back(static_cast<std::uint16_t>(
+            bytes[i] | (static_cast<std::uint16_t>(bytes[i + 1]) << 8)));
+    }
+    return words;
+}
+
+} // namespace uvolt::pmbus

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Minimal "{}"-style string formatting.
+ *
+ * The toolchain this library targets (GCC 12) does not ship <format>, so
+ * this header provides the small subset the library needs: positional
+ * "{}" placeholders plus the specs "{:x}", "{:0Nx}", "{:.Nf}", and
+ * "{:N}" (min-width). "{{" and "}}" escape literal braces.
+ */
+
+#ifndef UVOLT_UTIL_FORMAT_HH
+#define UVOLT_UTIL_FORMAT_HH
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace uvolt
+{
+
+namespace detail
+{
+
+/** Apply one "{:spec}" to the stream, then emit the value. */
+template <typename T>
+void
+emitFormatted(std::ostringstream &os, std::string_view spec, const T &value)
+{
+    std::ostringstream field;
+    bool hex = false;
+    if (!spec.empty() && (spec.back() == 'x' || spec.back() == 'X')) {
+        hex = true;
+        field << (spec.back() == 'x' ? std::nouppercase : std::uppercase);
+        spec.remove_suffix(1);
+    }
+    if (!spec.empty() && spec.front() == '.') {
+        spec.remove_prefix(1);
+        std::size_t digits = 0;
+        while (!spec.empty() && spec.front() >= '0' && spec.front() <= '9') {
+            digits = digits * 10 + static_cast<std::size_t>(
+                spec.front() - '0');
+            spec.remove_prefix(1);
+        }
+        if (!spec.empty() && spec.front() == 'f')
+            spec.remove_prefix(1);
+        field << std::fixed << std::setprecision(static_cast<int>(digits));
+    } else if (!spec.empty()) {
+        if (spec.front() == '0') {
+            field << std::setfill('0');
+            spec.remove_prefix(1);
+        }
+        std::size_t width = 0;
+        while (!spec.empty() && spec.front() >= '0' && spec.front() <= '9') {
+            width = width * 10 + static_cast<std::size_t>(
+                spec.front() - '0');
+            spec.remove_prefix(1);
+        }
+        if (width)
+            field << std::setw(static_cast<int>(width));
+    }
+    if (hex)
+        field << std::hex;
+    field << value;
+    os << field.str();
+}
+
+inline void
+formatNext(std::ostringstream &os, std::string_view &fmt)
+{
+    // No arguments left: copy the remainder, unescaping braces.
+    while (!fmt.empty()) {
+        if (fmt.size() >= 2 && (fmt.substr(0, 2) == "{{" ||
+                                fmt.substr(0, 2) == "}}")) {
+            os << fmt.front();
+            fmt.remove_prefix(2);
+        } else {
+            os << fmt.front();
+            fmt.remove_prefix(1);
+        }
+    }
+}
+
+template <typename T, typename... Rest>
+void
+formatNext(std::ostringstream &os, std::string_view &fmt, const T &value,
+           const Rest &...rest)
+{
+    while (!fmt.empty()) {
+        if (fmt.size() >= 2 && (fmt.substr(0, 2) == "{{" ||
+                                fmt.substr(0, 2) == "}}")) {
+            os << fmt.front();
+            fmt.remove_prefix(2);
+            continue;
+        }
+        if (fmt.front() == '{') {
+            const auto close = fmt.find('}');
+            if (close == std::string_view::npos) {
+                os << fmt; // malformed; emit as-is
+                fmt = {};
+                return;
+            }
+            std::string_view spec = fmt.substr(1, close - 1);
+            if (!spec.empty() && spec.front() == ':')
+                spec.remove_prefix(1);
+            fmt.remove_prefix(close + 1);
+            emitFormatted(os, spec, value);
+            formatNext(os, fmt, rest...);
+            return;
+        }
+        os << fmt.front();
+        fmt.remove_prefix(1);
+    }
+}
+
+} // namespace detail
+
+/** Format args into fmt's "{}" placeholders; extra args are ignored. */
+template <typename... Args>
+std::string
+strFormat(std::string_view fmt, const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatNext(os, fmt, args...);
+    return os.str();
+}
+
+} // namespace uvolt
+
+#endif // UVOLT_UTIL_FORMAT_HH

@@ -1,0 +1,60 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace uvolt
+{
+
+namespace
+{
+
+bool quiet = false;
+
+} // namespace
+
+namespace detail
+{
+
+void
+panicImpl(std::string_view message)
+{
+    std::fprintf(stderr, "panic: %.*s\n",
+                 static_cast<int>(message.size()), message.data());
+    std::abort();
+}
+
+void
+fatalImpl(std::string_view message)
+{
+    std::fprintf(stderr, "fatal: %.*s\n",
+                 static_cast<int>(message.size()), message.data());
+    std::exit(1);
+}
+
+void
+warnImpl(std::string_view message)
+{
+    std::fprintf(stderr, "warn: %.*s\n",
+                 static_cast<int>(message.size()), message.data());
+}
+
+void
+informImpl(std::string_view message)
+{
+    if (quiet)
+        return;
+    std::fprintf(stderr, "info: %.*s\n",
+                 static_cast<int>(message.size()), message.data());
+}
+
+} // namespace detail
+
+void
+setQuiet(bool value)
+{
+    quiet = value;
+}
+
+} // namespace uvolt

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 fatal/panic convention:
+ *
+ *  - panic(): an internal invariant was violated (a library bug); aborts.
+ *  - fatal(): the caller asked for something impossible (user error);
+ *    exits with status 1.
+ *  - warn()/inform(): non-fatal status messages on stderr.
+ *
+ * Messages use std::format-style formatting.
+ */
+
+#ifndef UVOLT_UTIL_LOGGING_HH
+#define UVOLT_UTIL_LOGGING_HH
+
+#include <string>
+#include <string_view>
+
+#include "util/format.hh"
+
+namespace uvolt
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(std::string_view message);
+[[noreturn]] void fatalImpl(std::string_view message);
+void warnImpl(std::string_view message);
+void informImpl(std::string_view message);
+
+} // namespace detail
+
+/** Abort: an invariant the library itself guarantees was violated. */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, Args &&...args)
+{
+    detail::panicImpl(strFormat(fmt, std::forward<Args>(args)...));
+}
+
+/** Exit(1): the simulation cannot continue because of a caller error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, Args &&...args)
+{
+    detail::fatalImpl(strFormat(fmt, std::forward<Args>(args)...));
+}
+
+/** Non-fatal warning on stderr. */
+template <typename... Args>
+void
+warn(std::string_view fmt, Args &&...args)
+{
+    detail::warnImpl(strFormat(fmt, std::forward<Args>(args)...));
+}
+
+/** Informational status message on stderr. */
+template <typename... Args>
+void
+inform(std::string_view fmt, Args &&...args)
+{
+    detail::informImpl(strFormat(fmt, std::forward<Args>(args)...));
+}
+
+/** Suppress / restore inform() output (tests keep their logs quiet). */
+void setQuiet(bool quiet);
+
+} // namespace uvolt
+
+#endif // UVOLT_UTIL_LOGGING_HH

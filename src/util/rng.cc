@@ -1,0 +1,169 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+namespace uvolt
+{
+
+namespace
+{
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+hashSeed(std::string_view text)
+{
+    // FNV-1a folded through one SplitMix64 step for avalanche.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return splitMix64(h);
+}
+
+std::uint64_t
+combineSeeds(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+    return splitMix64(s);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+}
+
+Rng::Rng(std::string_view seed_text) : Rng(hashSeed(seed_text)) {}
+
+std::uint64_t
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng((*this)());
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0)
+        return (*this)(); // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~0ULL - (~0ULL % span);
+    std::uint64_t x;
+    do {
+        x = (*this)();
+    } while (x > limit);
+    return lo + (x % span);
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    // Box-Muller; u1 in (0,1] to keep the log finite.
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double angle = 2.0 * M_PI * u2;
+    cachedGaussian_ = radius * std::sin(angle);
+    hasCachedGaussian_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+double
+Rng::exponential(double rate)
+{
+    return -std::log(1.0 - uniform()) / rate;
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(gaussian(mu, sigma));
+}
+
+bool
+Rng::chance(double probability)
+{
+    return uniform() < probability;
+}
+
+std::uint64_t
+Rng::poisson(double mean)
+{
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 64.0) {
+        // Knuth: multiply uniforms until below exp(-mean).
+        const double limit = std::exp(-mean);
+        double product = 1.0;
+        std::uint64_t k = 0;
+        do {
+            ++k;
+            product *= uniform();
+        } while (product > limit);
+        return k - 1;
+    }
+    // Normal approximation, adequate for the large-mean tail here.
+    double x = std::round(gaussian(mean, std::sqrt(mean)));
+    return x < 0.0 ? 0 : static_cast<std::uint64_t>(x);
+}
+
+} // namespace uvolt

@@ -1,0 +1,179 @@
+#include "vmodel/chip_fault_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace uvolt::vmodel
+{
+
+ChipFaultModel::ChipFaultModel(const fpga::PlatformSpec &spec,
+                               const fpga::Floorplan &floorplan,
+                               const VariationParams &params)
+    : spec_(spec), lambda_(bramVulnerability(spec, floorplan, params)),
+      cells_(floorplan.bramCount())
+{
+    const double k = spec_.faultGrowthSlope();
+    const double v_min = spec_.calib.bramVminMv / 1000.0;
+    const double v_crash = spec_.calib.bramVcrashMv / 1000.0;
+    // Thresholds must stay strictly below Vmin: the SAFE region is
+    // fault-free by definition. 2 mV of head-room keeps the boundary
+    // unambiguous under the 10 mV regulator granularity even with
+    // several sigma of per-run supply jitter.
+    const double threshold_cap = v_min - 0.002;
+
+    const std::uint64_t chip_seed = hashSeed(spec_.serialNumber);
+
+    for (std::uint32_t b = 0; b < floorplan.bramCount(); ++b) {
+        // lambda_ counts *observable at 0xFFFF* faults, i.e. the 1->0
+        // subset; the full weak-cell population is slightly larger.
+        const double mean_cells = lambda_[b] / oneToZeroShare;
+        if (mean_cells <= 0.0)
+            continue;
+
+        Rng rng(combineSeeds(chip_seed,
+                             combineSeeds(hashSeed("weak-cells"), b)));
+        const auto n = rng.poisson(mean_cells);
+        if (n == 0)
+            continue;
+
+        // Weak bitlines of this BRAM: read-timing failures share the
+        // column mux / sense-amp path, so most weak cells concentrate
+        // on a few columns (params.weakColumnShare of them), the rest
+        // scatter uniformly.
+        const auto weak_column_count = std::max<std::uint64_t>(
+            1, rng.poisson(std::max(0.0, params.meanWeakColumns - 1.0)) +
+                   1);
+        std::vector<int> weak_columns;
+        for (std::uint64_t c = 0; c < weak_column_count; ++c) {
+            weak_columns.push_back(static_cast<int>(
+                rng.uniformInt(0, fpga::bramCols - 1)));
+        }
+
+        auto &list = cells_[b];
+        list.reserve(n);
+        std::unordered_set<std::uint32_t> used;
+        used.reserve(n * 2);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            // Unique cell position within the BRAM, column-biased.
+            std::uint32_t offset;
+            do {
+                int col;
+                if (rng.chance(params.weakColumnShare)) {
+                    col = weak_columns[rng.uniformInt(
+                        0, weak_columns.size() - 1)];
+                } else {
+                    col = static_cast<int>(
+                        rng.uniformInt(0, fpga::bramCols - 1));
+                }
+                const auto row = static_cast<std::uint32_t>(
+                    rng.uniformInt(0, fpga::bramRows - 1));
+                offset = row * fpga::bramCols +
+                    static_cast<std::uint32_t>(col);
+            } while (!used.insert(offset).second);
+
+            WeakCell cell;
+            cell.row = static_cast<std::uint16_t>(offset / fpga::bramCols);
+            cell.col = static_cast<std::uint8_t>(offset % fpga::bramCols);
+            cell.oneToZero = rng.chance(oneToZeroShare);
+            const double excess = rng.exponential(k);
+            cell.thresholdV = static_cast<float>(
+                std::min(v_crash + excess, threshold_cap));
+            list.push_back(cell);
+        }
+        std::sort(list.begin(), list.end(),
+                  [](const WeakCell &a, const WeakCell &c) {
+                      return a.row != c.row ? a.row < c.row : a.col < c.col;
+                  });
+        totalWeakCells_ += list.size();
+    }
+
+    // Pin the chip's single most marginal cell to the cap: Vmin is a
+    // *measured* boundary (first faults appear one regulator step below
+    // it), so every chip realization must have at least one cell that
+    // fails just under Vmin rather than leaving the boundary to Poisson
+    // luck.
+    WeakCell *most_marginal = nullptr;
+    for (auto &list : cells_) {
+        for (auto &cell : list) {
+            if (!most_marginal ||
+                cell.thresholdV > most_marginal->thresholdV) {
+                most_marginal = &cell;
+            }
+        }
+    }
+    if (most_marginal)
+        most_marginal->thresholdV = static_cast<float>(threshold_cap);
+}
+
+const std::vector<WeakCell> &
+ChipFaultModel::weakCells(std::uint32_t bram) const
+{
+    if (bram >= cells_.size())
+        fatal("weakCells: BRAM {} out of pool of {}", bram, cells_.size());
+    return cells_[bram];
+}
+
+double
+ChipFaultModel::effectiveVoltage(double rail_v, double temp_c,
+                                 double jitter_v) const
+{
+    // Inverse Thermal Dependence: at near-threshold voltages, heating
+    // lowers the transistor threshold and speeds the circuit up, which is
+    // equivalent to a small supply boost.
+    const double itd_boost =
+        spec_.calib.itdMvPerC * (temp_c - referenceTempC) / 1000.0;
+    return rail_v + itd_boost + jitter_v;
+}
+
+std::vector<std::uint16_t>
+ChipFaultModel::readBram(const fpga::Bram &written, std::uint32_t bram,
+                         double effective_v) const
+{
+    auto rows = written.rows();
+    std::vector<std::uint16_t> observed(rows.begin(), rows.end());
+    for (const WeakCell &cell : weakCells(bram)) {
+        if (effective_v >= cell.thresholdV)
+            continue;
+        auto &word = observed[cell.row];
+        const auto mask = static_cast<std::uint16_t>(1u << cell.col);
+        if (cell.oneToZero)
+            word = static_cast<std::uint16_t>(word & ~mask);
+        else
+            word = static_cast<std::uint16_t>(word | mask);
+    }
+    return observed;
+}
+
+int
+ChipFaultModel::countBramFaults(const fpga::Bram &written,
+                                std::uint32_t bram,
+                                double effective_v) const
+{
+    int faults = 0;
+    for (const WeakCell &cell : weakCells(bram)) {
+        if (effective_v >= cell.thresholdV)
+            continue;
+        const bool stored = written.getBit(cell.row, cell.col);
+        if (cell.oneToZero ? stored : !stored)
+            ++faults;
+    }
+    return faults;
+}
+
+double
+ChipFaultModel::expectedFaults(double effective_v) const
+{
+    const double v_min = spec_.calib.bramVminMv / 1000.0;
+    const double v_crash = spec_.calib.bramVcrashMv / 1000.0;
+    if (effective_v >= v_min)
+        return 0.0;
+    const double k = spec_.faultGrowthSlope();
+    const double v = std::max(effective_v, v_crash);
+    return spec_.expectedFaultsAtVcrash() * std::exp(-k * (v - v_crash));
+}
+
+} // namespace uvolt::vmodel

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the sign-magnitude fixed-point module, including the
+ * properties the undervolting study depends on: "1"->"0" flips always
+ * shrink magnitudes, and small weights have mostly-"0" bit patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fxp/fixed_point.hh"
+#include "util/rng.hh"
+
+namespace uvolt::fxp
+{
+namespace
+{
+
+TEST(QFormat, DefaultIsPureFraction)
+{
+    QFormat fmt;
+    EXPECT_EQ(fmt.digitBits(), 0);
+    EXPECT_EQ(fmt.fracBits(), 15);
+    EXPECT_NEAR(fmt.maxMagnitude(), 1.0 - std::ldexp(1.0, -15), 1e-12);
+}
+
+TEST(QFormat, Describe)
+{
+    EXPECT_EQ(QFormat(0).describe(), "s1.d0.f15");
+    EXPECT_EQ(QFormat(4).describe(), "s1.d4.f11");
+}
+
+TEST(QFormat, RoundTripSmallValues)
+{
+    QFormat fmt(0);
+    for (double value : {0.0, 0.5, -0.5, 0.25, -0.999, 0.123456}) {
+        const Word word = fmt.quantize(value);
+        EXPECT_NEAR(fmt.dequantize(word), value, fmt.resolution() * 0.51)
+            << "value " << value;
+    }
+}
+
+TEST(QFormat, RoundTripWithDigitBits)
+{
+    QFormat fmt(4);
+    for (double value : {15.9, -12.25, 3.0, -0.875}) {
+        const Word word = fmt.quantize(value);
+        EXPECT_NEAR(fmt.dequantize(word), value, fmt.resolution() * 0.51)
+            << "value " << value;
+    }
+}
+
+TEST(QFormat, SaturatesInsteadOfWrapping)
+{
+    QFormat fmt(0);
+    const Word word = fmt.quantize(3.5);
+    EXPECT_NEAR(fmt.dequantize(word), fmt.maxMagnitude(), 1e-9);
+    const Word negative = fmt.quantize(-3.5);
+    EXPECT_NEAR(fmt.dequantize(negative), -fmt.maxMagnitude(), 1e-9);
+}
+
+TEST(QFormat, SignBitIsMsb)
+{
+    QFormat fmt(0);
+    const Word positive = fmt.quantize(0.5);
+    const Word negative = fmt.quantize(-0.5);
+    EXPECT_FALSE(getBit(positive, signBit));
+    EXPECT_TRUE(getBit(negative, signBit));
+    EXPECT_EQ(withBit(negative, signBit, false), positive);
+}
+
+TEST(QFormat, ZeroHasNoSignBit)
+{
+    QFormat fmt(0);
+    EXPECT_EQ(fmt.quantize(0.0), 0);
+    EXPECT_EQ(fmt.quantize(-0.0), 0);
+}
+
+TEST(QFormat, OneToZeroFlipsShrinkMagnitude)
+{
+    // The key resilience property of sign-magnitude storage under
+    // undervolting: clearing any magnitude bit moves the value toward 0,
+    // never away from it.
+    QFormat fmt(2);
+    Rng rng(42);
+    for (int trial = 0; trial < 500; ++trial) {
+        const double value = rng.uniform(-3.9, 3.9);
+        const Word word = fmt.quantize(value);
+        for (int bit = 0; bit < signBit; ++bit) {
+            if (!getBit(word, bit))
+                continue;
+            const Word flipped = withBit(word, bit, false);
+            EXPECT_LE(std::abs(fmt.dequantize(flipped)),
+                      std::abs(fmt.dequantize(word)));
+        }
+    }
+}
+
+TEST(MinDigitBits, Boundaries)
+{
+    EXPECT_EQ(minDigitBits(0.0), 0);
+    EXPECT_EQ(minDigitBits(0.999), 0);
+    EXPECT_EQ(minDigitBits(1.0), 1);
+    EXPECT_EQ(minDigitBits(-1.5), 1);
+    EXPECT_EQ(minDigitBits(2.0), 2);
+    EXPECT_EQ(minDigitBits(3.99), 2);
+    EXPECT_EQ(minDigitBits(8.0), 4);  // the paper's Layer4 case
+    EXPECT_EQ(minDigitBits(15.9), 4);
+    EXPECT_EQ(minDigitBits(16.0), 5);
+}
+
+TEST(Popcount, WordAndSpan)
+{
+    EXPECT_EQ(popcount(Word{0}), 0);
+    EXPECT_EQ(popcount(Word{0xFFFF}), 16);
+    EXPECT_EQ(popcount(Word{0xAAAA}), 8);
+
+    std::vector<Word> words{0xFFFF, 0x0000, 0x0001};
+    EXPECT_EQ(popcount(std::span<const Word>(words)), 17u);
+}
+
+TEST(ZeroBitFraction, SmallWeightsAreSparse)
+{
+    // Quantized small weights (the bulk of a trained net) must be
+    // bit-sparse; this is what makes the NN inherently fault-tolerant.
+    QFormat fmt(0);
+    Rng rng(7);
+    std::vector<Word> words;
+    for (int i = 0; i < 4000; ++i)
+        words.push_back(fmt.quantize(rng.gaussian(0.0, 0.05)));
+    EXPECT_GT(zeroBitFraction(words), 0.60);
+}
+
+TEST(ZeroBitFraction, EdgeCases)
+{
+    std::vector<Word> empty;
+    EXPECT_EQ(zeroBitFraction(empty), 0.0);
+    std::vector<Word> ones(4, 0xFFFF);
+    EXPECT_EQ(zeroBitFraction(ones), 0.0);
+    std::vector<Word> zeros(4, 0);
+    EXPECT_EQ(zeroBitFraction(zeros), 1.0);
+}
+
+} // namespace
+} // namespace uvolt::fxp

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the mitigation alternatives: the SECDED codec itself, and
+ * the MitigationLab strategies (temporal voting, spatial TMR, SECDED)
+ * against the deterministic undervolting fault model. The headline
+ * property: temporal redundancy is useless against deterministic
+ * faults, while spatial redundancy works — the observation that
+ * motivates ICBP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/mitigation.hh"
+#include "accel/placement.hh"
+#include "accel/secded.hh"
+#include "accel/weight_image.hh"
+#include "data/synthetic.hh"
+#include "harness/fvm.hh"
+#include "nn/quantizer.hh"
+#include "nn/trainer.hh"
+#include "pmbus/board.hh"
+#include "util/rng.hh"
+
+namespace uvolt::accel
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// SECDED codec
+// ---------------------------------------------------------------------
+
+TEST(Secded, CleanRoundTrip)
+{
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        const auto data = static_cast<std::uint16_t>(rng());
+        const std::uint8_t check = secdedEncode(data);
+        const SecdedResult result = secdedDecode(data, check);
+        EXPECT_EQ(result.status, SecdedStatus::Clean);
+        EXPECT_EQ(result.data, data);
+    }
+}
+
+TEST(Secded, CorrectsEverySingleDataBitError)
+{
+    Rng rng(6);
+    for (int i = 0; i < 300; ++i) {
+        const auto data = static_cast<std::uint16_t>(rng());
+        const std::uint8_t check = secdedEncode(data);
+        for (int bit = 0; bit < 16; ++bit) {
+            const auto corrupted =
+                static_cast<std::uint16_t>(data ^ (1u << bit));
+            const SecdedResult result = secdedDecode(corrupted, check);
+            EXPECT_EQ(result.status, SecdedStatus::Corrected);
+            EXPECT_EQ(result.data, data);
+        }
+    }
+}
+
+TEST(Secded, CorrectsEverySingleCheckBitError)
+{
+    Rng rng(7);
+    for (int i = 0; i < 300; ++i) {
+        const auto data = static_cast<std::uint16_t>(rng());
+        const std::uint8_t check = secdedEncode(data);
+        for (int bit = 0; bit < secdedCheckBits; ++bit) {
+            const auto corrupted =
+                static_cast<std::uint8_t>(check ^ (1u << bit));
+            const SecdedResult result = secdedDecode(data, corrupted);
+            EXPECT_EQ(result.status, SecdedStatus::Corrected);
+            EXPECT_EQ(result.data, data);
+        }
+    }
+}
+
+TEST(Secded, DetectsDoubleDataErrors)
+{
+    Rng rng(8);
+    int detected = 0, total = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto data = static_cast<std::uint16_t>(rng());
+        const std::uint8_t check = secdedEncode(data);
+        const int a = static_cast<int>(rng.uniformInt(0, 15));
+        int b;
+        do {
+            b = static_cast<int>(rng.uniformInt(0, 15));
+        } while (b == a);
+        const auto corrupted = static_cast<std::uint16_t>(
+            data ^ (1u << a) ^ (1u << b));
+        const SecdedResult result = secdedDecode(corrupted, check);
+        ++total;
+        detected += (result.status == SecdedStatus::DoubleDetected);
+        // A double error must never be "corrected" into wrong data
+        // silently marked Clean.
+        EXPECT_NE(result.status, SecdedStatus::Clean);
+    }
+    EXPECT_EQ(detected, total);
+}
+
+// ---------------------------------------------------------------------
+// MitigationLab on a live board
+// ---------------------------------------------------------------------
+
+class MitigationFixture : public ::testing::Test
+{
+  protected:
+    struct State
+    {
+        pmbus::Board board{fpga::findPlatform("ZC702")};
+        nn::QuantizedModel model;
+        std::unique_ptr<WeightImage> image;
+        std::unique_ptr<MitigationLab> lab;
+
+        State()
+        {
+            const data::Dataset train_set = data::makeForestLike(800, 3);
+            nn::Network net(
+                {data::forestFeatures, 128, 64, data::forestClasses});
+            nn::TrainOptions options;
+            options.epochs = 3;
+            options.learningRate = 0.03;
+            nn::train(net, train_set, options);
+            model = nn::quantize(net);
+            image = std::make_unique<WeightImage>(model);
+
+            // Adversarial placement: pin the image to the most
+            // vulnerable BRAMs so every strategy sees real faults.
+            const vmodel::ChipFaultModel &faults = board.faultModel();
+            std::vector<int> per_bram(board.device().bramCount());
+            for (std::uint32_t b = 0; b < per_bram.size(); ++b) {
+                per_bram[b] = static_cast<int>(
+                    faults.weakCells(b).size());
+            }
+            harness::Fvm fvm("ZC702", board.device().floorplan(),
+                             std::move(per_bram));
+            auto order = fvm.bramsByReliability();
+            std::vector<std::uint32_t> worst(
+                order.rbegin(),
+                order.rbegin() + image->logicalBramCount());
+            // Protect every layer so TMR/SECDED cover the whole image.
+            std::vector<int> all_layers;
+            for (std::size_t l = 0; l < model.layers.size(); ++l)
+                all_layers.push_back(static_cast<int>(l));
+            lab = std::make_unique<MitigationLab>(
+                board, *image, Placement(std::move(worst)), all_layers);
+
+            board.setVccBramMv(board.spec().calib.bramVcrashMv);
+            board.startReferenceRun();
+        }
+    };
+
+    static State &
+    state()
+    {
+        static State instance;
+        return instance;
+    }
+};
+
+TEST_F(MitigationFixture, RawReadoutSeesFaults)
+{
+    MitigationReport report;
+    const nn::QuantizedModel observed = state().lab->readRaw(report);
+    EXPECT_GT(report.rawFaults, 20u);
+    EXPECT_EQ(report.residualFaults, report.rawFaults);
+    EXPECT_EQ(report.corrected, 0u);
+    // And the observed weights really differ.
+    bool differs = false;
+    for (std::size_t l = 0; l < observed.layers.size(); ++l)
+        differs |= observed.layers[l].weights !=
+            state().model.layers[l].weights;
+    EXPECT_TRUE(differs);
+}
+
+TEST_F(MitigationFixture, TemporalVotingIsUselessAgainstDeterminism)
+{
+    // The paper's stability finding (Table II) implies re-reading does
+    // not help: the same cells fail every time.
+    MitigationReport report;
+    state().lab->readTemporalVote(3, report);
+    ASSERT_GT(report.rawFaults, 0u);
+    EXPECT_LT(report.coverage(), 0.05);
+    state().board.startReferenceRun();
+}
+
+TEST_F(MitigationFixture, SpatialTmrMasksAlmostEverything)
+{
+    MitigationReport report;
+    const nn::QuantizedModel observed =
+        state().lab->readSpatialTmr(report);
+    ASSERT_GT(report.rawFaults, 0u);
+    // Replicas live on *different* (here: much healthier) BRAMs, so a
+    // 2-of-3 vote masks nearly all primary-copy faults.
+    EXPECT_GT(report.coverage(), 0.9);
+    EXPECT_EQ(report.extraBrams,
+              2 * state().image->logicalBramCount());
+    (void)observed;
+}
+
+TEST_F(MitigationFixture, SecdedCorrectsIsolatedFaults)
+{
+    MitigationReport report;
+    state().lab->readSecded(report);
+    ASSERT_GT(report.rawFaults, 0u);
+    // Single-error-per-row dominates, so most faults are corrected;
+    // multi-fault rows stay (and are reported as detected).
+    EXPECT_GT(report.coverage(), 0.5);
+    EXPECT_EQ(report.extraBrams,
+              (state().image->logicalBramCount() + 1) / 2);
+    EXPECT_EQ(report.residualFaults + report.corrected,
+              report.rawFaults);
+}
+
+TEST(MitigationLabTest, DefaultProtectsLastLayer)
+{
+    pmbus::Board board(fpga::findPlatform("ZC702"));
+    nn::Network net({54, 64, 7});
+    net.initWeights(3);
+    WeightImage image(nn::quantize(net));
+    MitigationLab lab(board, image, defaultPlacement(image));
+    ASSERT_EQ(lab.protectedLayers().size(), 1u);
+    EXPECT_EQ(lab.protectedLayers()[0], 1);
+    // Last layer = 1 logical BRAM -> 2 TMR replicas, 1 check BRAM.
+    EXPECT_EQ(lab.tmrOverheadBrams(), 2u);
+    EXPECT_EQ(lab.secdedOverheadBrams(), 1u);
+}
+
+TEST(MitigationLabTest, FaultFreeAtNominal)
+{
+    pmbus::Board board(fpga::findPlatform("ZC702"));
+    nn::Network net({54, 64, 7});
+    net.initWeights(3);
+    WeightImage image(nn::quantize(net));
+    MitigationLab lab(board, image, defaultPlacement(image));
+    board.startReferenceRun();
+
+    MitigationReport report;
+    for (auto read : {&MitigationLab::readRaw,
+                      &MitigationLab::readSpatialTmr,
+                      &MitigationLab::readSecded}) {
+        const nn::QuantizedModel observed = (lab.*read)(report);
+        EXPECT_EQ(report.rawFaults, 0u);
+        EXPECT_EQ(report.residualFaults, 0u);
+        for (std::size_t l = 0; l < observed.layers.size(); ++l) {
+            EXPECT_EQ(observed.layers[l].weights,
+                      nn::quantize(net).layers[l].weights);
+        }
+    }
+}
+
+} // namespace
+} // namespace uvolt::accel

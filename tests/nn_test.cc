@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the NN module: activations, forward pass, training on small
+ * learnable problems, quantization (Fig 9 semantics), and the model zoo
+ * save/load round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "data/synthetic.hh"
+#include "nn/model_zoo.hh"
+#include "nn/network.hh"
+#include "nn/quantizer.hh"
+#include "nn/trainer.hh"
+#include "util/rng.hh"
+
+namespace uvolt::nn
+{
+namespace
+{
+
+TEST(Activations, Logsig)
+{
+    EXPECT_FLOAT_EQ(logsig(0.0f), 0.5f);
+    EXPECT_GT(logsig(10.0f), 0.9999f);
+    EXPECT_LT(logsig(-10.0f), 0.0001f);
+    EXPECT_NEAR(logsig(1.0f), 0.7310586f, 1e-6f);
+}
+
+TEST(Activations, SoftmaxNormalizesAndOrders)
+{
+    std::vector<float> logits{1.0f, 3.0f, 2.0f};
+    softmaxInPlace(logits);
+    float sum = 0.0f;
+    for (float p : logits)
+        sum += p;
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    EXPECT_GT(logits[1], logits[2]);
+    EXPECT_GT(logits[2], logits[0]);
+}
+
+TEST(Activations, SoftmaxStableForLargeLogits)
+{
+    std::vector<float> logits{1000.0f, 1001.0f};
+    softmaxInPlace(logits);
+    EXPECT_NEAR(logits[0] + logits[1], 1.0f, 1e-6f);
+    EXPECT_FALSE(std::isnan(logits[0]));
+}
+
+TEST(DenseLayerTest, ForwardMatrixVector)
+{
+    DenseLayer layer(2, 2);
+    layer.setWeight(0, 0, 1.0f);
+    layer.setWeight(0, 1, 2.0f);
+    layer.setWeight(1, 0, -1.0f);
+    layer.setWeight(1, 1, 0.5f);
+    layer.setBias(0, 0.25f);
+    layer.setBias(1, -0.25f);
+
+    const float x[2] = {3.0f, 4.0f};
+    float z[2];
+    layer.forward(x, z);
+    EXPECT_FLOAT_EQ(z[0], 1.0f * 3 + 2.0f * 4 + 0.25f);
+    EXPECT_FLOAT_EQ(z[1], -1.0f * 3 + 0.5f * 4 - 0.25f);
+}
+
+TEST(DenseLayerTest, MaxAbsWeight)
+{
+    DenseLayer layer(2, 1);
+    layer.setWeight(0, 0, -3.5f);
+    layer.setWeight(0, 1, 2.0f);
+    EXPECT_FLOAT_EQ(layer.maxAbsWeight(), 3.5f);
+}
+
+TEST(NetworkTest, TopologyAndWeightCount)
+{
+    Network net({784, 1024, 512, 256, 128, 10});
+    EXPECT_EQ(net.layerCount(), 5);
+    // Paper: ~1.5 million weights.
+    EXPECT_EQ(net.totalWeights(),
+              784u * 1024 + 1024u * 512 + 512u * 256 + 256u * 128 +
+                  128u * 10);
+    EXPECT_EQ(net.totalWeights(), 1492224u);
+}
+
+TEST(NetworkTest, InferIsDistribution)
+{
+    Network net({4, 8, 3});
+    net.initWeights(5);
+    const float x[4] = {0.1f, -0.2f, 0.3f, 0.7f};
+    const auto probs = net.infer(x);
+    ASSERT_EQ(probs.size(), 3u);
+    float sum = 0.0f;
+    for (float p : probs) {
+        EXPECT_GE(p, 0.0f);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(NetworkTest, InitIsDeterministic)
+{
+    Network a({4, 8, 3}), b({4, 8, 3});
+    a.initWeights(5);
+    b.initWeights(5);
+    EXPECT_EQ(a.layer(0).weight(3, 2), b.layer(0).weight(3, 2));
+    b.initWeights(6);
+    EXPECT_NE(a.layer(0).weight(3, 2), b.layer(0).weight(3, 2));
+}
+
+TEST(TrainerTest, LearnsForestLike)
+{
+    const data::Dataset train_set = data::makeForestLike(1500, 3);
+    const data::Dataset test_set = data::makeForestLike(
+        500, uvolt::combineSeeds(3, uvolt::hashSeed("held-out")));
+
+    Network net({data::forestFeatures, 64, 32, data::forestClasses});
+    TrainOptions options;
+    options.epochs = 6;
+    options.learningRate = 0.03;
+    const TrainReport report = train(net, train_set, options);
+
+    EXPECT_LT(report.finalTrainError, 0.25);
+    EXPECT_LT(net.evaluateError(test_set), 0.30); // chance ~0.86
+}
+
+TEST(TrainerTest, DeterministicGivenSeeds)
+{
+    const data::Dataset train_set = data::makeForestLike(300, 3);
+    Network a({data::forestFeatures, 16, data::forestClasses});
+    Network b({data::forestFeatures, 16, data::forestClasses});
+    TrainOptions options;
+    options.epochs = 2;
+    train(a, train_set, options);
+    train(b, train_set, options);
+    EXPECT_EQ(a.layer(0).weight(5, 7), b.layer(0).weight(5, 7));
+    EXPECT_EQ(a.layer(1).bias(3), b.layer(1).bias(3));
+}
+
+TEST(TrainerTest, OutputMseRefinementGrowsWeightsNotError)
+{
+    const data::Dataset train_set = data::makeForestLike(1500, 3);
+    const data::Dataset test_set = data::makeForestLike(
+        500, uvolt::combineSeeds(3, uvolt::hashSeed("held-out")));
+    Network net({data::forestFeatures, 64, 32, data::forestClasses});
+    TrainOptions options;
+    options.epochs = 5;
+    options.learningRate = 0.03;
+    train(net, train_set, options);
+    const double before_error = net.evaluateError(test_set);
+    const float before_max = net.layer(2).maxAbsWeight();
+
+    OutputMseOptions refine;
+    refine.epochs = 300;
+    refine.learningRate = 0.02;
+    const TrainReport report =
+        finetuneOutputMse(net, train_set, refine);
+    EXPECT_EQ(report.epochs, 300);
+
+    // Chasing saturated logsig targets inflates the output layer...
+    EXPECT_GT(net.layer(2).maxAbsWeight(), before_max * 1.5f);
+    // ...without costing accuracy.
+    EXPECT_LT(net.evaluateError(test_set), before_error + 0.02);
+    // Hidden layers are untouched.
+    Network reference({data::forestFeatures, 64, 32,
+                       data::forestClasses});
+    train(reference, train_set, options);
+    EXPECT_EQ(net.layer(0).weight(3, 5), reference.layer(0).weight(3, 5));
+}
+
+TEST(TrainerTest, OutputMseZeroEpochsIsNoOp)
+{
+    const data::Dataset train_set = data::makeForestLike(200, 3);
+    Network net({data::forestFeatures, 16, data::forestClasses});
+    net.initWeights(3);
+    const float w = net.layer(1).weight(2, 3);
+    OutputMseOptions refine;
+    refine.epochs = 0;
+    finetuneOutputMse(net, train_set, refine);
+    EXPECT_EQ(net.layer(1).weight(2, 3), w);
+}
+
+TEST(QuantizerTest, PerLayerMinimumPrecision)
+{
+    Network net({2, 2, 2});
+    // Layer 0 weights inside (-1, 1): no digit bits.
+    net.layer(0).setWeight(0, 0, 0.5f);
+    net.layer(0).setWeight(1, 1, -0.75f);
+    // Layer 1 has a weight of magnitude 9: needs 4 digit bits.
+    net.layer(1).setWeight(0, 0, 9.0f);
+
+    const QuantizedModel model = quantize(net);
+    EXPECT_EQ(model.layers[0].format.digitBits(), 0);
+    EXPECT_EQ(model.layers[1].format.digitBits(), 4);
+    EXPECT_EQ(model.layers[0].format.describe(), "s1.d0.f15");
+    EXPECT_EQ(model.layers[1].format.describe(), "s1.d4.f11");
+}
+
+TEST(QuantizerTest, RoundTripPreservesAccuracy)
+{
+    const data::Dataset train_set = data::makeForestLike(1200, 3);
+    Network net({data::forestFeatures, 32, data::forestClasses});
+    TrainOptions options;
+    options.epochs = 4;
+    train(net, train_set, options);
+
+    // 16-bit fixed point costs almost nothing (paper: "negligible
+    // accuracy loss").
+    const data::Dataset test_set = data::makeForestLike(
+        400, uvolt::combineSeeds(3, uvolt::hashSeed("held-out")));
+    EXPECT_LT(std::abs(quantizationErrorDelta(net, test_set)), 0.01);
+}
+
+TEST(QuantizerTest, DecodedWeightsCloseToFloat)
+{
+    Network net({2, 1, 2});
+    net.layer(0).setWeight(0, 0, 0.123f);
+    net.layer(0).setWeight(0, 1, -0.456f);
+    const QuantizedModel model = quantize(net);
+    const Network rebuilt = model.toNetwork();
+    EXPECT_NEAR(rebuilt.layer(0).weight(0, 0), 0.123f, 1e-4f);
+    EXPECT_NEAR(rebuilt.layer(0).weight(0, 1), -0.456f, 1e-4f);
+}
+
+TEST(QuantizerTest, ZeroBitFractionOfTrainedNetIsHigh)
+{
+    const data::Dataset train_set = data::makeForestLike(1200, 3);
+    Network net({data::forestFeatures, 32, data::forestClasses});
+    TrainOptions options;
+    options.epochs = 4;
+    train(net, train_set, options);
+    const QuantizedModel model = quantize(net);
+    // The paper's observation: most weight bits are "0".
+    EXPECT_GT(model.zeroBitFraction(), 0.55);
+}
+
+TEST(ModelZoo, SpecKeysDistinguishConfigs)
+{
+    ZooSpec a = paperMnistSpec();
+    ZooSpec b = paperMnistSpec();
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+    b.train.epochs += 1;
+    EXPECT_NE(a.cacheKey(), b.cacheKey());
+    ZooSpec c = paperMnistSpec();
+    c.dataSeed += 1;
+    EXPECT_NE(a.cacheKey(), c.cacheKey());
+}
+
+TEST(ModelZoo, PaperSpecShapes)
+{
+    const ZooSpec mnist = paperMnistSpec();
+    EXPECT_EQ(mnist.topology,
+              (std::vector<int>{784, 1024, 512, 256, 128, 10}));
+    EXPECT_EQ(paperForestSpec().topology.front(), data::forestFeatures);
+    EXPECT_EQ(paperForestSpec().topology.back(), data::forestClasses);
+    EXPECT_EQ(paperReutersSpec().topology.front(), data::reutersVocab);
+    EXPECT_EQ(paperReutersSpec().topology.back(), data::reutersClasses);
+}
+
+TEST(ModelZoo, SaveLoadRoundTrip)
+{
+    Network net({4, 6, 3});
+    net.initWeights(77);
+    const std::string path = "test_zoo_cache/roundtrip.nnw";
+    ASSERT_TRUE(saveNetwork(net, path));
+
+    Network loaded({4, 6, 3});
+    ASSERT_TRUE(loadNetwork(loaded, path));
+    EXPECT_EQ(loaded.layer(0).weight(2, 1), net.layer(0).weight(2, 1));
+    EXPECT_EQ(loaded.layer(1).weight(1, 5), net.layer(1).weight(1, 5));
+
+    // Shape mismatch is rejected.
+    Network wrong({4, 7, 3});
+    EXPECT_FALSE(loadNetwork(wrong, path));
+    EXPECT_FALSE(loadNetwork(loaded, "test_zoo_cache/nonexistent.nnw"));
+    std::filesystem::remove_all("test_zoo_cache");
+}
+
+TEST(ModelZoo, TestSetDisjointFromTrainSet)
+{
+    ZooSpec spec = paperForestSpec();
+    spec.trainCount = 50;
+    const data::Dataset train_set = makeTrainSet(spec);
+    const data::Dataset test_set = makeTestSet(spec, 50);
+    int identical = 0;
+    for (std::size_t i = 0; i < 50; ++i) {
+        const auto a = train_set.sample(i);
+        const auto b = test_set.sample(i);
+        identical += std::equal(a.begin(), a.end(), b.begin());
+    }
+    EXPECT_EQ(identical, 0);
+}
+
+} // namespace
+} // namespace uvolt::nn

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Parameterized property suites (TEST_P) covering the invariants the
+ * library guarantees across its whole parameter space: every platform,
+ * every fixed-point format, a range of data-pattern densities, and a
+ * range of placement seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "accel/placement.hh"
+#include "accel/weight_image.hh"
+#include "fpga/device.hh"
+#include "fpga/platform.hh"
+#include "fxp/fixed_point.hh"
+#include "harness/experiment.hh"
+#include "nn/quantizer.hh"
+#include "pmbus/board.hh"
+#include "power/power_model.hh"
+#include "util/rng.hh"
+#include "vmodel/chip_fault_model.hh"
+
+namespace uvolt
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Per-platform physics invariants
+// ---------------------------------------------------------------------
+
+class PlatformProperties : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    const fpga::PlatformSpec &
+    spec() const
+    {
+        return fpga::findPlatform(GetParam());
+    }
+};
+
+TEST_P(PlatformProperties, VoltageRegionsAreOrdered)
+{
+    const auto &calib = spec().calib;
+    EXPECT_LT(calib.bramVcrashMv, calib.bramVminMv);
+    EXPECT_LT(calib.bramVminMv, spec().vnomMv);
+    EXPECT_LT(calib.intVcrashMv, calib.intVminMv);
+    EXPECT_LT(calib.intVminMv, spec().vnomMv);
+    // Guardbands in the plausible 30-45% window the paper reports.
+    const double guardband = 1.0 -
+        static_cast<double>(calib.bramVminMv) / spec().vnomMv;
+    EXPECT_GT(guardband, 0.30);
+    EXPECT_LT(guardband, 0.45);
+}
+
+TEST_P(PlatformProperties, FaultMapIsReproducible)
+{
+    pmbus::Board a(spec()), b(spec());
+    a.device().fillAll(0xFFFF);
+    b.device().fillAll(0xFFFF);
+    a.setVccBramMv(spec().calib.bramVcrashMv);
+    b.setVccBramMv(spec().calib.bramVcrashMv);
+    a.startReferenceRun();
+    b.startReferenceRun();
+    for (std::uint32_t bram = 0; bram < spec().bramCount;
+         bram += spec().bramCount / 23 + 1) {
+        EXPECT_EQ(a.readBramToHost(bram), b.readBramToHost(bram));
+    }
+}
+
+TEST_P(PlatformProperties, ExpectedFaultsMonotoneInVoltage)
+{
+    const fpga::Floorplan plan =
+        fpga::Floorplan::columnGrid(spec().bramCount, spec().columnHeight);
+    const vmodel::ChipFaultModel model(spec(), plan);
+    double previous = -1.0;
+    for (int mv = spec().calib.bramVcrashMv;
+         mv <= spec().calib.bramVminMv; mv += 10) {
+        const double expected = model.expectedFaults(mv / 1000.0);
+        if (previous >= 0.0) {
+            EXPECT_LE(expected, previous);
+        }
+        previous = expected;
+    }
+    EXPECT_EQ(model.expectedFaults(spec().calib.bramVminMv / 1000.0), 0.0);
+}
+
+TEST_P(PlatformProperties, VcrashRateHitsCalibration)
+{
+    pmbus::Board board(spec());
+    harness::SweepOptions options;
+    options.runsPerLevel = 15;
+    options.collectPerBram = false;
+    options.fromMv = spec().calib.bramVcrashMv;
+    const auto sweep = harness::runCriticalSweep(board, options);
+    EXPECT_NEAR(sweep.atVcrash().faultsPerMbit,
+                spec().calib.faultsPerMbitAtVcrash,
+                spec().calib.faultsPerMbitAtVcrash * 0.12);
+}
+
+TEST_P(PlatformProperties, PowerModelBounds)
+{
+    const power::RailPowerModel rail(spec());
+    for (int mv = spec().vnomMv; mv >= spec().calib.bramVcrashMv;
+         mv -= 10) {
+        const double rel = rail.relativePower(mv / 1000.0);
+        EXPECT_GT(rel, 0.0);
+        EXPECT_LE(rel, 1.0 + 1e-12);
+    }
+}
+
+TEST_P(PlatformProperties, TemperatureNeverIncreasesFaults)
+{
+    const fpga::Floorplan plan =
+        fpga::Floorplan::columnGrid(spec().bramCount, spec().columnHeight);
+    const vmodel::ChipFaultModel model(spec(), plan);
+    fpga::Device device(spec());
+    device.fillAll(0xFFFF);
+    const double v_crash = spec().calib.bramVcrashMv / 1000.0;
+
+    double previous = -1.0;
+    for (double temp : {50.0, 60.0, 70.0, 80.0}) {
+        double faults = 0.0;
+        for (std::uint32_t b = 0; b < spec().bramCount; ++b) {
+            faults += model.countBramFaults(
+                device.bram(b), b, model.effectiveVoltage(v_crash, temp));
+        }
+        if (previous >= 0.0) {
+            EXPECT_LE(faults, previous) << "at " << temp;
+        }
+        previous = faults;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, PlatformProperties,
+                         ::testing::Values("VC707", "ZC702", "KC705-A",
+                                           "KC705-B", "KCU105",
+                                           "ZCU102"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (auto &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+// ---------------------------------------------------------------------
+// Fixed-point formats
+// ---------------------------------------------------------------------
+
+class QFormatProperties : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QFormatProperties, QuantizeWithinHalfLsb)
+{
+    const fxp::QFormat fmt(GetParam());
+    Rng rng(GetParam() * 101 + 7);
+    for (int i = 0; i < 400; ++i) {
+        const double value =
+            rng.uniform(-fmt.maxMagnitude(), fmt.maxMagnitude());
+        const double decoded = fmt.dequantize(fmt.quantize(value));
+        EXPECT_NEAR(decoded, value, fmt.resolution() * 0.51);
+    }
+}
+
+TEST_P(QFormatProperties, MagnitudeBitsClearedShrink)
+{
+    const fxp::QFormat fmt(GetParam());
+    Rng rng(GetParam() * 77 + 1);
+    for (int i = 0; i < 200; ++i) {
+        const fxp::Word word = fmt.quantize(
+            rng.uniform(-fmt.maxMagnitude(), fmt.maxMagnitude()));
+        for (int bit = 0; bit < fxp::signBit; ++bit) {
+            if (!fxp::getBit(word, bit))
+                continue;
+            EXPECT_LE(std::abs(fmt.dequantize(
+                          fxp::withBit(word, bit, false))),
+                      std::abs(fmt.dequantize(word)));
+        }
+    }
+}
+
+TEST_P(QFormatProperties, SaturationNeverWraps)
+{
+    const fxp::QFormat fmt(GetParam());
+    const double beyond = fmt.maxMagnitude() * 4.0 + 1.0;
+    EXPECT_NEAR(fmt.dequantize(fmt.quantize(beyond)), fmt.maxMagnitude(),
+                1e-9);
+    EXPECT_NEAR(fmt.dequantize(fmt.quantize(-beyond)),
+                -fmt.maxMagnitude(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(DigitWidths, QFormatProperties,
+                         ::testing::Values(0, 1, 2, 4, 8, 15));
+
+// ---------------------------------------------------------------------
+// Data-pattern density sweep: fault rate tracks the "1" density
+// ---------------------------------------------------------------------
+
+class PatternDensityProperties : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PatternDensityProperties, FaultsProportionalToOnesDensity)
+{
+    const double density = GetParam();
+    static pmbus::Board board(fpga::findPlatform("KC705-A"));
+    board.softReset();
+
+    harness::SweepOptions options;
+    options.runsPerLevel = 9;
+    options.collectPerBram = false;
+    options.fromMv = board.spec().calib.bramVcrashMv;
+
+    options.pattern = harness::PatternSpec::allOnes();
+    const double ones =
+        harness::runCriticalSweep(board, options).atVcrash().medianFaults;
+
+    options.pattern = harness::PatternSpec::random(density, 17);
+    const double observed =
+        harness::runCriticalSweep(board, options).atVcrash().medianFaults;
+
+    EXPECT_NEAR(observed / ones, density, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, PatternDensityProperties,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+// ---------------------------------------------------------------------
+// Placement seeds: injectivity and coverage under arbitrary seeds
+// ---------------------------------------------------------------------
+
+class PlacementSeedProperties
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    static const accel::WeightImage &
+    image()
+    {
+        static const accel::WeightImage instance = [] {
+            nn::Network net({54, 64, 32, 7});
+            net.initWeights(3);
+            return accel::WeightImage(nn::quantize(net));
+        }();
+        return instance;
+    }
+};
+
+TEST_P(PlacementSeedProperties, RandomPlacementIsValid)
+{
+    const accel::Placement placement =
+        accel::randomPlacement(image(), 280, GetParam());
+    EXPECT_TRUE(placement.fits(280));
+    std::vector<bool> used(280, false);
+    for (std::uint32_t i = 0; i < placement.logicalCount(); ++i) {
+        const std::uint32_t physical = placement.physicalOf(i);
+        EXPECT_FALSE(used[physical]);
+        used[physical] = true;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementSeedProperties,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u,
+                                           0xDEADBEEFu));
+
+} // namespace
+} // namespace uvolt

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for FVM persistence (fvm_io) and within-BRAM structural
+ * analysis (structure): the column-clustering signature of the fault
+ * model must be measurable from readback data, and disappear when the
+ * model is configured IID.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "harness/experiment.hh"
+#include "harness/fault_analyzer.hh"
+#include "harness/fvm.hh"
+#include "harness/fvm_io.hh"
+#include "harness/structure.hh"
+#include "pmbus/board.hh"
+
+namespace uvolt::harness
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// structure analysis
+// ---------------------------------------------------------------------
+
+std::vector<FaultObservation>
+readbackFaults(pmbus::Board &board)
+{
+    board.device().fillAll(0xFFFF);
+    board.setVccBramMv(board.spec().calib.bramVcrashMv);
+    board.startReferenceRun();
+    std::vector<FaultObservation> faults;
+    FaultSummary summary;
+    for (std::uint32_t b = 0; b < board.device().bramCount(); ++b) {
+        diffBram(board.device().bram(b), board.readBramToHost(b), b,
+                 faults, summary);
+    }
+    board.softReset();
+    return faults;
+}
+
+TEST(StructureTest, HandBuiltHistogram)
+{
+    std::vector<FaultObservation> faults;
+    for (int i = 0; i < 30; ++i)
+        faults.push_back({7, static_cast<std::uint16_t>(i), 5, true});
+    for (int i = 0; i < 10; ++i)
+        faults.push_back({7, static_cast<std::uint16_t>(i), 11, true});
+    faults.push_back({9, 0, 0, true});
+
+    const StructureReport report = analyzeStructure(faults);
+    EXPECT_EQ(report.totalFaults, 41u);
+    ASSERT_EQ(report.perBram.size(), 2u);
+    const auto &bram7 = report.perBram.front();
+    EXPECT_EQ(bram7.bram, 7u);
+    EXPECT_EQ(bram7.faults, 40);
+    EXPECT_EQ(bram7.perColumn[5], 30);
+    EXPECT_EQ(bram7.perColumn[11], 10);
+    EXPECT_DOUBLE_EQ(bram7.topTwoColumnShare(), 1.0);
+    EXPECT_GT(bram7.columnChiSquare(), chiSquare95Df15);
+    EXPECT_EQ(report.columnTotals[5], 30u);
+}
+
+TEST(StructureTest, ChipFaultsShowColumnClustering)
+{
+    pmbus::Board board(fpga::findPlatform("KC705-A"));
+    const auto faults = readbackFaults(board);
+    ASSERT_GT(faults.size(), 500u);
+    const StructureReport report = analyzeStructure(faults);
+    // With the default 70%-on-2-columns model, busy BRAMs concentrate
+    // most faults on their top-two columns and reject uniformity.
+    EXPECT_GT(report.meanTopTwoShare(16), 0.55);
+    EXPECT_GT(report.medianChiSquare(16), chiSquare95Df15);
+}
+
+TEST(StructureTest, IidAblationRemovesClustering)
+{
+    vmodel::VariationParams iid;
+    iid.weakColumnShare = 0.0;
+    pmbus::Board board(fpga::findPlatform("KC705-A"), iid);
+    const auto faults = readbackFaults(board);
+    ASSERT_GT(faults.size(), 500u);
+    const StructureReport report = analyzeStructure(faults);
+    EXPECT_LT(report.meanTopTwoShare(16), 0.45);
+    EXPECT_LT(report.medianChiSquare(16), chiSquare95Df15);
+}
+
+TEST(StructureTest, RenderBramMapShowsWeakColumn)
+{
+    std::vector<FaultObservation> faults;
+    for (int row = 0; row < 200; ++row)
+        faults.push_back({3, static_cast<std::uint16_t>(row), 13, true});
+    const StructureReport report = analyzeStructure(faults);
+    const std::string art = renderBramMap(report.perBram.front(), faults,
+                                          128);
+    // 8 bands of 16 chars + newlines.
+    EXPECT_EQ(art.size(), 8u * 17u);
+    // Column 13 is the third character from the left (cols 15, 14, 13).
+    int marked = 0;
+    std::size_t line_start = 0;
+    while (line_start < art.size()) {
+        marked += (art[line_start + 2] != '.');
+        EXPECT_EQ(art[line_start + 0], '.'); // col 15 clean
+        line_start += 17;
+    }
+    EXPECT_GE(marked, 2);
+}
+
+TEST(StructureTest, EmptyInput)
+{
+    const StructureReport report = analyzeStructure({});
+    EXPECT_EQ(report.totalFaults, 0u);
+    EXPECT_TRUE(report.perBram.empty());
+    EXPECT_EQ(report.meanTopTwoShare(), 0.0);
+    EXPECT_EQ(report.medianChiSquare(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// FVM persistence
+// ---------------------------------------------------------------------
+
+class FvmIoTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all("fvm_io_test_dir");
+    }
+
+    static Fvm
+    sampleFvm(const fpga::Floorplan &plan)
+    {
+        std::vector<int> faults(plan.bramCount());
+        for (std::uint32_t b = 0; b < plan.bramCount(); ++b)
+            faults[b] = static_cast<int>((b * 7) % 23);
+        return Fvm("ZC702", plan, std::move(faults));
+    }
+};
+
+TEST_F(FvmIoTest, RoundTrip)
+{
+    const auto plan = fpga::Floorplan::columnGrid(280, 70);
+    const Fvm original = sampleFvm(plan);
+    const std::string path = "fvm_io_test_dir/zc702.fvm";
+    ASSERT_TRUE(saveFvm(original, plan, path));
+
+    const auto loaded = loadFvm(plan, path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->platform(), "ZC702");
+    EXPECT_EQ(loaded->perBramFaults(), original.perBramFaults());
+}
+
+TEST_F(FvmIoTest, MissingFile)
+{
+    const auto plan = fpga::Floorplan::columnGrid(280, 70);
+    EXPECT_FALSE(loadFvm(plan, "fvm_io_test_dir/nonexistent.fvm")
+                     .has_value());
+}
+
+TEST_F(FvmIoTest, GeometryMismatchRejected)
+{
+    const auto plan = fpga::Floorplan::columnGrid(280, 70);
+    const std::string path = "fvm_io_test_dir/zc702.fvm";
+    ASSERT_TRUE(saveFvm(sampleFvm(plan), plan, path));
+    const auto other = fpga::Floorplan::columnGrid(890, 120);
+    EXPECT_FALSE(loadFvm(other, path).has_value());
+}
+
+TEST_F(FvmIoTest, CorruptFileRejected)
+{
+    const auto plan = fpga::Floorplan::columnGrid(280, 70);
+    const std::string path = "fvm_io_test_dir/bad.fvm";
+    std::filesystem::create_directories("fvm_io_test_dir");
+    {
+        std::ofstream out(path);
+        out << "#uvolt-fvm v1 ZC702 4 70 280\n";
+        out << "0,0,5\n0,0,7\n"; // duplicate site
+    }
+    EXPECT_FALSE(loadFvm(plan, path).has_value());
+
+    {
+        std::ofstream out(path);
+        out << "not an fvm\n";
+    }
+    EXPECT_FALSE(loadFvm(plan, path).has_value());
+}
+
+TEST_F(FvmIoTest, TruncatedFileRejected)
+{
+    const auto plan = fpga::Floorplan::columnGrid(280, 70);
+    const std::string path = "fvm_io_test_dir/trunc.fvm";
+    ASSERT_TRUE(saveFvm(sampleFvm(plan), plan, path));
+    // Chop off the last line.
+    std::string content;
+    {
+        std::ifstream in(path);
+        std::string line;
+        std::vector<std::string> lines;
+        while (std::getline(in, line))
+            lines.push_back(line);
+        lines.pop_back();
+        for (const auto &kept : lines)
+            content += kept + "\n";
+    }
+    {
+        std::ofstream out(path);
+        out << content;
+    }
+    EXPECT_FALSE(loadFvm(plan, path).has_value());
+}
+
+} // namespace
+} // namespace uvolt::harness
