@@ -8,6 +8,13 @@
  *  4. Ask the power model what the trip was worth.
  *
  * Usage: quickstart [--platform VC707|ZC702|KC705-A|KC705-B]
+ *                   [--noise 0.02] [--seed 1]
+ *
+ * With --noise p the board sits in a harsh environment: serial frames
+ * corrupt, PMBus transactions NACK, setpoints jitter, and the
+ * configuration can crash spuriously near Vcrash — all with probability
+ * p, drawn from a stream seeded by --seed. The retry/recovery layer
+ * masks every one of them, so the printed results do not change.
  */
 
 #include <cstdio>
@@ -25,6 +32,9 @@ main(int argc, char **argv)
 {
     CliParser cli("Quickstart tour of the FPGA undervolting library");
     cli.addString("platform", "VC707", "board to model");
+    cli.addDouble("noise", 0.0,
+                  "harsh-environment fault probability (0..1)");
+    cli.addInt("seed", 1, "seed for the injected-fault stream");
     if (!cli.parse(argc, argv))
         return 0;
 
@@ -32,6 +42,14 @@ main(int argc, char **argv)
     //    readback link + this chip's deterministic fault personality.
     const auto &spec = fpga::findPlatform(cli.getString("platform"));
     pmbus::Board board(spec);
+    const double noise = cli.getDouble("noise");
+    if (noise != 0.0) {
+        board.attachNoise(pmbus::NoiseConfig::harsh(
+            static_cast<std::uint64_t>(cli.getInt("seed")), noise));
+        std::printf("harsh environment: %.1f%% injected fault "
+                    "probability on every channel\n",
+                    noise * 100.0);
+    }
     std::printf("%s (%s, %s): %u BRAMs of 16 kbit, VCCBRAM nominal %d mV\n",
                 spec.name.c_str(), spec.family.c_str(),
                 spec.chipModel.c_str(), spec.bramCount, spec.vnomMv);
@@ -81,5 +99,17 @@ main(int argc, char **argv)
     board.softReset();
     std::printf("board reset to nominal; DONE pin %s\n",
                 board.donePin() ? "high" : "low");
+
+    if (noise > 0.0) {
+        const auto &link = board.link().stats();
+        const auto &bus = board.pmbusStats();
+        std::printf("surviving the environment cost: %llu frame CRC "
+                    "errors -> %llu retransmits, %llu PMBus retries, "
+                    "%llu setpoints rewritten\n",
+                    static_cast<unsigned long long>(link.crcErrors),
+                    static_cast<unsigned long long>(link.retransmits),
+                    static_cast<unsigned long long>(bus.retries),
+                    static_cast<unsigned long long>(bus.verifyMismatches));
+    }
     return 0;
 }

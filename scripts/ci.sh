@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a plain optimized build, then an
+# AddressSanitizer+UBSan build (UVOLT_SANITIZE=ON). The sanitized pass
+# exists for the resilience layer in particular — retry loops, crash
+# recovery, and checkpoint resume juggle buffers and board state in ways
+# worth running under ASan every time.
+#
+# Usage: scripts/ci.sh [jobs]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+run_suite() {
+    local build_dir="$1"
+    shift
+    cmake -B "$build_dir" -S . "$@"
+    cmake --build "$build_dir" -j "$jobs"
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+echo "== tier 1: plain build =="
+run_suite build
+
+echo "== tier 1: sanitized build (ASan + UBSan) =="
+# fatal() death tests exit(1) mid-flight by design; leak checking on
+# those intentional exits would drown the signal.
+ASAN_OPTIONS=detect_leaks=0 run_suite build-asan -DUVOLT_SANITIZE=ON
+
+echo "== both suites passed =="

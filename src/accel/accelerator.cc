@@ -24,6 +24,12 @@ Accelerator::Accelerator(pmbus::Board &board, WeightImage image,
 void
 Accelerator::program()
 {
+    restoreImage();
+}
+
+void
+Accelerator::restoreImage() const
+{
     for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
          ++logical) {
         auto &bram = board_.device().bram(placement_.physicalOf(logical));
@@ -31,6 +37,33 @@ Accelerator::program()
         for (int row = 0; row < fpga::bramRows; ++row)
             bram.writeRow(row, rows[static_cast<std::size_t>(row)]);
     }
+}
+
+std::vector<std::uint16_t>
+Accelerator::readPhysicalRecoverable(std::uint32_t physical) const
+{
+    constexpr int max_recoveries = 16;
+    for (int attempt = 0; attempt <= max_recoveries; ++attempt) {
+        auto observed = board_.tryReadBramToHost(physical);
+        if (observed.ok())
+            return observed.take();
+        if (observed.code() != Errc::crashDetected)
+            fatal("{}", observed.error().message);
+        // Spurious crash under the payload: recover like the harness
+        // watchdog does. Reconfiguration brings the weight image back
+        // with the bitstream; then restore the operating point and
+        // retry under the original supply jitter so the recovered read
+        // equals the undisturbed one.
+        ++crashRecoveries_;
+        const int level_mv = board_.vccBramMv();
+        const double jitter_v = board_.runJitterV();
+        board_.softReset();
+        restoreImage();
+        board_.setVccBramMv(level_mv);
+        board_.resumeRun(jitter_v);
+    }
+    fatal("{}: accelerator readback of BRAM {} crashed {} times in a row",
+          board_.spec().name, physical, max_recoveries);
 }
 
 nn::QuantizedModel
@@ -41,7 +74,7 @@ Accelerator::observedModel() const
     for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
          ++logical) {
         observed.push_back(
-            board_.readBramToHost(placement_.physicalOf(logical)));
+            readPhysicalRecoverable(placement_.physicalOf(logical)));
     }
     return image_.decode(observed);
 }
@@ -62,7 +95,7 @@ Accelerator::weightFaults() const
         for (std::uint32_t b = 0; b < span.bramCount; ++b) {
             const std::uint32_t logical = span.firstLogicalBram + b;
             const auto observed =
-                board_.readBramToHost(placement_.physicalOf(logical));
+                readPhysicalRecoverable(placement_.physicalOf(logical));
             const auto &written = image_.rowsOf(logical);
             std::uint64_t faults = 0;
             for (int row = 0; row < fpga::bramRows; ++row) {

@@ -71,10 +71,28 @@ class Accelerator
     double classificationError(const data::Dataset &test_set,
                                std::size_t limit = 0) const;
 
+    /**
+     * Spurious DONE-low events survived during readback: each one cost
+     * a reconfiguration (weight re-program) plus a setpoint restore.
+     */
+    std::uint64_t crashRecoveries() const { return crashRecoveries_; }
+
   private:
+    /** Re-write the weight image (reconfiguration restores it). */
+    void restoreImage() const;
+
+    /**
+     * Read one physical BRAM, recovering spurious crashes like the
+     * harness watchdog: reconfigure, restore the operating point, and
+     * retry under the original supply jitter.
+     */
+    std::vector<std::uint16_t>
+    readPhysicalRecoverable(std::uint32_t physical) const;
+
     pmbus::Board &board_;
     WeightImage image_;
     Placement placement_;
+    mutable std::uint64_t crashRecoveries_ = 0;
 };
 
 } // namespace uvolt::accel

@@ -110,6 +110,12 @@ MitigationLab::isProtected(int layer) const
 void
 MitigationLab::program()
 {
+    restoreAllStorage();
+}
+
+void
+MitigationLab::restoreAllStorage() const
+{
     auto &device = board_.device();
     for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
          ++logical) {
@@ -143,7 +149,26 @@ MitigationLab::program()
 std::vector<std::uint16_t>
 MitigationLab::readPhysical(std::uint32_t physical) const
 {
-    return board_.readBramToHost(physical);
+    constexpr int max_recoveries = 16;
+    for (int attempt = 0; attempt <= max_recoveries; ++attempt) {
+        auto observed = board_.tryReadBramToHost(physical);
+        if (observed.ok())
+            return observed.take();
+        if (observed.code() != Errc::crashDetected)
+            fatal("{}", observed.error().message);
+        // Reconfiguration restores data, replica, and check storage
+        // alike; then re-enter the interrupted read at the original
+        // operating point and supply jitter.
+        ++crashRecoveries_;
+        const int level_mv = board_.vccBramMv();
+        const double jitter_v = board_.runJitterV();
+        board_.softReset();
+        restoreAllStorage();
+        board_.setVccBramMv(level_mv);
+        board_.resumeRun(jitter_v);
+    }
+    fatal("{}: mitigated readback of BRAM {} crashed {} times in a row",
+          board_.spec().name, physical, max_recoveries);
 }
 
 nn::QuantizedModel

@@ -109,8 +109,16 @@ class MitigationLab
     /** Extra BRAMs consumed by SECDED check words. */
     std::uint32_t secdedOverheadBrams() const;
 
+    /** Spurious DONE-low events survived during mitigated readouts. */
+    std::uint64_t crashRecoveries() const { return crashRecoveries_; }
+
   private:
     bool isProtected(int layer) const;
+
+    /** Re-write data, replica, and check BRAMs (reconfiguration). */
+    void restoreAllStorage() const;
+
+    /** Crash-recovering physical readback (see Accelerator). */
     std::vector<std::uint16_t>
     readPhysical(std::uint32_t physical) const;
 
@@ -134,6 +142,7 @@ class MitigationLab
         bool valid = false;
     };
     std::vector<CheckSlot> checkOf_;
+    mutable std::uint64_t crashRecoveries_ = 0;
 };
 
 } // namespace uvolt::accel

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "harness/checkpoint.hh"
 #include "harness/fault_analyzer.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
@@ -50,30 +51,114 @@ RegionResult::guardband() const
 namespace
 {
 
-/** Count device-wide BRAM faults under the current run conditions. */
-std::uint64_t
-countDeviceFaults(const pmbus::Board &board)
+/**
+ * Crash watchdog: when DONE drops mid-measurement the board is
+ * recovered exactly as the paper recovers crashed boards — by
+ * reconfiguration — then brought back to the campaign's conditions:
+ * soft reset, pattern re-fill, setpoint restore.
+ */
+struct Watchdog
 {
-    std::uint64_t total = 0;
-    for (std::uint32_t b = 0; b < board.device().bramCount(); ++b)
-        total += static_cast<std::uint64_t>(board.countBramFaults(b));
-    return total;
+    pmbus::Board &board;
+    PatternSpec pattern;
+    fpga::RailId rail = fpga::RailId::VccBram;
+    int levelMv = 0;
+    RecoveryPolicy policy;
+    ResilienceReport *report = nullptr;
+
+    /** Reconfigure and restore campaign conditions after DONE-low. */
+    void
+    recover() const
+    {
+        if (report)
+            ++report->crashRecoveries;
+        board.softReset();
+        fillPattern(board, pattern);
+        const auto set = rail == fpga::RailId::VccBram
+            ? board.trySetVccBramMv(levelMv)
+            : board.trySetVccIntMv(levelMv);
+        set.orFatal();
+        if (!board.donePin())
+            panic("{}: board crashed again right after recovery at {} mV "
+                  "(level should be operable)",
+                  board.spec().name, levelMv);
+    }
+};
+
+/**
+ * Count device-wide BRAM faults for the run in progress, recovering
+ * injected/spurious crashes and retrying the run under its original
+ * supply jitter so the result equals an undisturbed run's.
+ */
+Expected<std::uint64_t>
+countDeviceFaultsRecoverable(const Watchdog &watchdog)
+{
+    pmbus::Board &board = watchdog.board;
+    const double jitter = board.runJitterV();
+    for (int recovery = 0; recovery <= watchdog.policy.maxRecoveriesPerRun;
+         ++recovery) {
+        std::uint64_t total = 0;
+        bool crashed = false;
+        for (std::uint32_t b = 0; b < board.device().bramCount(); ++b) {
+            const auto count = board.tryCountBramFaults(b);
+            if (!count.ok()) {
+                if (count.code() != Errc::crashDetected)
+                    return count.error();
+                crashed = true;
+                break;
+            }
+            total += static_cast<std::uint64_t>(count.value());
+        }
+        if (!crashed)
+            return total;
+        watchdog.recover();
+        board.resumeRun(jitter);
+        if (watchdog.report)
+            ++watchdog.report->runsRetried;
+    }
+    return makeError(Errc::recoveryExhausted,
+                     "{}: run at {} mV kept crashing through {} "
+                     "recoveries",
+                     board.spec().name, watchdog.levelMv,
+                     watchdog.policy.maxRecoveriesPerRun);
 }
 
 /** Whether the probed rail shows any fault at the present level. */
 bool
-probeFaulty(pmbus::Board &board, fpga::RailId rail, int runs)
+probeFaulty(pmbus::Board &board, fpga::RailId rail, int runs,
+            const Watchdog &watchdog)
 {
     if (rail == fpga::RailId::VccBram) {
         for (int run = 0; run < runs; ++run) {
             board.startRun();
-            if (countDeviceFaults(board) > 0)
+            if (countDeviceFaultsRecoverable(watchdog).orFatal() > 0)
                 return true;
         }
         return false;
     }
     return board.internalLogicFaulty();
 }
+
+/** Snapshot link/pmbus retry counters so a campaign can report deltas. */
+struct ChannelBaseline
+{
+    std::uint64_t linkRetransmits;
+    std::uint64_t pmbusRetries;
+
+    explicit ChannelBaseline(const pmbus::Board &board)
+        : linkRetransmits(board.link().stats().retransmits),
+          pmbusRetries(board.pmbusStats().retries)
+    {
+    }
+
+    void
+    fold(const pmbus::Board &board, ResilienceReport &report) const
+    {
+        report.linkRetransmits +=
+            board.link().stats().retransmits - linkRetransmits;
+        report.pmbusRetries += board.pmbusStats().retries - pmbusRetries;
+    }
+};
 
 } // namespace
 
@@ -97,11 +182,13 @@ discoverRegions(pmbus::Board &board, fpga::RailId rail, int runs_per_level)
     const int step = pmbus::voutStepMv;
     int first_faulty_mv = 0;
 
+    Watchdog watchdog{board, PatternSpec::allOnes(), rail, 0, {}, nullptr};
+
     for (int mv = result.vnomMv; mv >= 0; mv -= step) {
-        if (rail == fpga::RailId::VccBram)
-            board.setVccBramMv(mv);
-        else
-            board.setVccIntMv(mv);
+        const auto set = rail == fpga::RailId::VccBram
+            ? board.trySetVccBramMv(mv)
+            : board.trySetVccIntMv(mv);
+        set.orFatal();
 
         if (!board.donePin()) {
             // CRASH region entered: the last operable level was one step
@@ -109,8 +196,9 @@ discoverRegions(pmbus::Board &board, fpga::RailId rail, int runs_per_level)
             result.vcrashMv = mv + step;
             break;
         }
+        watchdog.levelMv = mv;
         if (first_faulty_mv == 0 &&
-            probeFaulty(board, rail, runs_per_level)) {
+            probeFaulty(board, rail, runs_per_level, watchdog)) {
             first_faulty_mv = mv;
         }
     }
@@ -131,7 +219,9 @@ const SweepPoint &
 SweepResult::atVcrash() const
 {
     if (points.empty())
-        fatal("sweep has no points");
+        fatal("sweep of {} has no points (the campaign measured no "
+              "operable level)",
+              platform.empty() ? "<unset platform>" : platform);
     return points.back();
 }
 
@@ -142,8 +232,74 @@ SweepResult::at(int vcc_bram_mv) const
         if (point.vccBramMv == vcc_bram_mv)
             return point;
     }
-    fatal("sweep has no point at {} mV", vcc_bram_mv);
+    std::string available;
+    for (const auto &point : points) {
+        if (!available.empty())
+            available += ", ";
+        available += strFormat("{}", point.vccBramMv);
+    }
+    fatal("sweep has no point at {} mV; {} measured {} level(s): [{}] mV",
+          vcc_bram_mv, platform.empty() ? "<unset platform>" : platform,
+          points.size(), available);
 }
+
+namespace
+{
+
+/** Rebuild the derived per-point statistics from raw run counts. */
+void
+finalizePointStats(SweepPoint &point, std::uint64_t total_bits)
+{
+    point.runStats = RunningStats();
+    for (double count : point.runCounts)
+        point.runStats.add(count);
+    point.medianFaults = median(point.runCounts);
+    point.faultsPerMbit = faultsPerMbit(point.medianFaults, total_bits);
+}
+
+/**
+ * The deterministic zero-jitter reference readback of one level: the
+ * per-BRAM fault map plus flip-polarity accounting, shipped through the
+ * serial link. A crash mid-pass restarts the whole pass (it is
+ * jitter-free, hence idempotent).
+ */
+void
+collectReferenceMaps(SweepPoint &point, const Watchdog &watchdog)
+{
+    pmbus::Board &board = watchdog.board;
+    for (int recovery = 0; recovery <= watchdog.policy.maxRecoveriesPerRun;
+         ++recovery) {
+        board.startReferenceRun();
+        point.perBramFaults.assign(board.device().bramCount(), 0);
+        FaultSummary summary;
+        std::vector<FaultObservation> faults;
+        bool crashed = false;
+        for (std::uint32_t b = 0; b < board.device().bramCount(); ++b) {
+            faults.clear();
+            auto observed = board.tryReadBramToHost(b);
+            if (!observed.ok()) {
+                if (observed.code() != Errc::crashDetected)
+                    fatal("{}", observed.error().message);
+                crashed = true;
+                break;
+            }
+            diffBram(board.device().bram(b), observed.value(), b, faults,
+                     summary);
+            point.perBramFaults[b] = static_cast<int>(faults.size());
+        }
+        if (!crashed) {
+            point.oneToZeroFraction = summary.oneToZeroFraction();
+            return;
+        }
+        watchdog.recover();
+    }
+    fatal("[{}] {}: reference readback at {} mV kept crashing through {} "
+          "recoveries",
+          errcName(Errc::recoveryExhausted), board.spec().name,
+          watchdog.levelMv, watchdog.policy.maxRecoveriesPerRun);
+}
+
+} // namespace
 
 SweepResult
 runCriticalSweep(pmbus::Board &board, const SweepOptions &options)
@@ -163,52 +319,89 @@ runCriticalSweep(pmbus::Board &board, const SweepOptions &options)
     result.ambientC = board.ambientC();
     result.runsPerLevel = options.runsPerLevel;
 
+    const ChannelBaseline baseline(board);
+
     board.softReset();
     fillPattern(board, options.pattern);
 
     const std::uint64_t total_bits = board.device().totalBits();
 
-    for (int mv = from; mv >= down_to; mv -= options.stepMv) {
-        board.setVccBramMv(mv);
+    // --- checkpoint resume ----------------------------------------------
+    int start_mv = from;
+    std::vector<double> partial_counts;
+    SweepCheckpoint *checkpoint = options.checkpoint;
+    if (checkpoint && checkpoint->valid) {
+        validateCheckpoint(*checkpoint, board, options, from, down_to);
+        result.points = checkpoint->completedPoints;
+        start_mv = checkpoint->currentLevelMv;
+        partial_counts = checkpoint->currentRunCounts;
+        board.fastForwardRuns(checkpoint->runsStarted);
+        ++result.resilience.checkpointResumes;
+    } else if (checkpoint) {
+        *checkpoint = makeCheckpoint(board, options, from, down_to);
+        checkpoint->currentLevelMv = start_mv;
+        checkpoint->valid = true;
+    }
+
+    Watchdog watchdog{board,   options.pattern, fpga::RailId::VccBram,
+                      0,       options.recovery, &result.resilience};
+
+    int levels_this_call = 0;
+    bool finished = true;
+    for (int mv = start_mv; mv >= down_to; mv -= options.stepMv) {
+        if (options.maxLevels > 0 &&
+            levels_this_call >= options.maxLevels) {
+            // Budget exhausted: leave a resumable checkpoint behind.
+            finished = false;
+            break;
+        }
+        board.trySetVccBramMv(mv).orFatal();
         if (!board.donePin())
             break; // stepped past Vcrash
+        watchdog.levelMv = mv;
 
         SweepPoint point;
         point.vccBramMv = mv;
+        point.runCounts = std::move(partial_counts);
+        partial_counts.clear();
+        point.runCounts.reserve(
+            static_cast<std::size_t>(options.runsPerLevel));
 
-        std::vector<double> run_counts;
-        run_counts.reserve(static_cast<std::size_t>(options.runsPerLevel));
-        for (int run = 0; run < options.runsPerLevel; ++run) {
+        for (int run = static_cast<int>(point.runCounts.size());
+             run < options.runsPerLevel; ++run) {
             board.startRun();
-            const auto count =
-                static_cast<double>(countDeviceFaults(board));
-            run_counts.push_back(count);
-            point.runStats.add(count);
+            auto count = countDeviceFaultsRecoverable(watchdog);
+            point.runCounts.push_back(
+                static_cast<double>(std::move(count).orFatal()));
+            if (checkpoint) {
+                checkpoint->currentRunCounts = point.runCounts;
+                checkpoint->runsStarted = board.runsStarted();
+            }
         }
-        point.medianFaults = median(run_counts);
-        point.faultsPerMbit = faultsPerMbit(point.medianFaults, total_bits);
+        finalizePointStats(point, total_bits);
         point.bramPowerW = board.measureBramPowerW();
 
-        if (options.collectPerBram) {
-            // One jitter-free full readback through the serial link: the
-            // deterministic per-BRAM map plus flip-polarity accounting.
-            board.startReferenceRun();
-            point.perBramFaults.resize(board.device().bramCount());
-            FaultSummary summary;
-            std::vector<FaultObservation> faults;
-            for (std::uint32_t b = 0; b < board.device().bramCount(); ++b) {
-                faults.clear();
-                const auto observed = board.readBramToHost(b);
-                diffBram(board.device().bram(b), observed, b, faults,
-                         summary);
-                point.perBramFaults[b] = static_cast<int>(faults.size());
-            }
-            point.oneToZeroFraction = summary.oneToZeroFraction();
-        }
+        if (options.collectPerBram)
+            collectReferenceMaps(point, watchdog);
 
         result.points.push_back(std::move(point));
+        ++levels_this_call;
+
+        if (checkpoint) {
+            checkpoint->completedPoints = result.points;
+            checkpoint->currentLevelMv = mv - options.stepMv;
+            checkpoint->currentRunCounts.clear();
+            checkpoint->runsStarted = board.runsStarted();
+            if (!options.checkpointPath.empty())
+                saveCheckpointFile(*checkpoint, options.checkpointPath);
+        }
     }
 
+    result.truncated = !finished;
+    if (checkpoint && finished)
+        checkpoint->valid = false; // campaign complete; nothing to resume
+
+    baseline.fold(board, result.resilience);
     board.softReset();
     return result;
 }

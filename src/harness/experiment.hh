@@ -13,6 +13,14 @@
  *    to the host, and analyze fault rate and location. Reported rates are
  *    medians of the 100 runs; stability statistics (Table II) come from
  *    the same population.
+ *
+ * Both campaigns are resilient: a watchdog detects DONE-low (real or
+ * injected spurious crashes), recovers the board by reconfiguration —
+ * soft reset, pattern re-fill, setpoint restore — and resumes from a
+ * per-level checkpoint of partial run counts, retrying the interrupted
+ * run under its original supply jitter so the completed campaign is
+ * bit-identical to an undisturbed one. The checkpoint can also be
+ * serialized (harness/checkpoint.hh) to survive host-process death.
  */
 
 #ifndef UVOLT_HARNESS_EXPERIMENT_HH
@@ -84,10 +92,28 @@ struct RegionResult
     double guardband() const;
 };
 
+/** Crash-recovery budget of a campaign engine. */
+struct RecoveryPolicy
+{
+    int maxRecoveriesPerRun = 16; ///< watchdog budget for one run/pass
+};
+
+/** What the environment did to a campaign, and what it cost to survive. */
+struct ResilienceReport
+{
+    std::uint64_t crashRecoveries = 0; ///< DONE-low events recovered
+    std::uint64_t runsRetried = 0;     ///< measurement runs re-executed
+    std::uint64_t linkRetransmits = 0; ///< serial retries during campaign
+    std::uint64_t pmbusRetries = 0;    ///< PMBus retries during campaign
+    std::uint64_t checkpointResumes = 0; ///< campaigns resumed mid-level
+};
+
 /**
  * Locate the SAFE/CRITICAL/CRASH boundaries of a rail by stepping down
  * from nominal. BRAM faults are probed with pattern 0xFFFF; VCCINT
- * faults are probed through the design's self-check path.
+ * faults are probed through the design's self-check path. Spurious
+ * DONE-low events are recovered by reconfiguration and the probe is
+ * retried under its original jitter.
  */
 RegionResult discoverRegions(pmbus::Board &board, fpga::RailId rail,
                              int runs_per_level = 5);
@@ -99,6 +125,9 @@ struct SweepPoint
 
     /** Fault counts over the run population (whole device). */
     RunningStats runStats;
+
+    /** Raw per-run fault counts (checkpoint + median source). */
+    std::vector<double> runCounts;
 
     /** Median fault count of the runs (what the paper reports). */
     double medianFaults = 0.0;
@@ -116,6 +145,28 @@ struct SweepPoint
     double oneToZeroFraction = 1.0;
 };
 
+/**
+ * Resumable campaign state: everything needed to continue a sweep that
+ * was interrupted mid-level — completed points plus the partial run
+ * counts of the level in progress and the run-jitter stream cursor.
+ * Serialize with harness/checkpoint.hh to survive process death.
+ */
+struct SweepCheckpoint
+{
+    bool valid = false;      ///< holds resumable state
+    std::string platform;    ///< board the campaign ran on
+    PatternSpec pattern;     ///< campaign pattern (must match on resume)
+    double ambientC = 50.0;
+    int runsPerLevel = 0;
+    int stepMv = 10;
+    int fromMv = 0;          ///< resolved first level of the campaign
+    int downToMv = 0;        ///< resolved last level of the campaign
+    int currentLevelMv = 0;  ///< level in progress
+    std::uint64_t runsStarted = 0; ///< Board run-jitter stream cursor
+    std::vector<double> currentRunCounts; ///< finished runs at the level
+    std::vector<SweepPoint> completedPoints;
+};
+
 /** A full Listing-1 campaign. */
 struct SweepResult
 {
@@ -124,6 +175,12 @@ struct SweepResult
     double ambientC = 50.0;
     int runsPerLevel = 100;
     std::vector<SweepPoint> points; ///< ordered Vmin -> Vcrash
+
+    /** Retry/recovery accounting for the whole campaign. */
+    ResilienceReport resilience;
+
+    /** Whether the sweep stopped early on a maxLevels budget. */
+    bool truncated = false;
 
     /** The point at the lowest operable voltage. */
     const SweepPoint &atVcrash() const;
@@ -141,11 +198,33 @@ struct SweepOptions
     int fromMv = 0;          ///< 0 = start at the platform's Vmin
     int downToMv = 0;        ///< 0 = stop at the platform's Vcrash
     bool collectPerBram = true;
+    RecoveryPolicy recovery; ///< watchdog budget under harsh conditions
+
+    /**
+     * Measure at most this many levels this call (0 = unlimited): a
+     * time-slicing budget. A truncated sweep leaves @a checkpoint valid
+     * so a later call finishes the campaign.
+     */
+    int maxLevels = 0;
+
+    /**
+     * Optional resumable state. If it holds a valid checkpoint for this
+     * board/pattern, the sweep resumes from it (completed levels are not
+     * re-measured and the interrupted level keeps its partial runs);
+     * either way it is kept current as the campaign progresses.
+     */
+    SweepCheckpoint *checkpoint = nullptr;
+
+    /** If nonempty, serialize the checkpoint here after every level. */
+    std::string checkpointPath;
 };
 
 /**
  * The paper's Listing 1: sweep VCCBRAM through the CRITICAL region and
  * measure fault statistics at every step. Leaves the board soft-reset.
+ * Completes under injected harsh-environment faults with bit-identical
+ * per-level statistics (retries, recovery, and checkpoint resume fully
+ * mask every maskable fault class).
  */
 SweepResult runCriticalSweep(pmbus::Board &board,
                              const SweepOptions &options = {});

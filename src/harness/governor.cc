@@ -1,6 +1,7 @@
 #include "harness/governor.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/logging.hh"
 
@@ -43,21 +44,36 @@ VoltageGovernor::VoltageGovernor(pmbus::Board &board, const Fvm &fvm,
         fatal("governor: only {} spare BRAMs for {} canaries",
               canaries_.size(), config_.canaryCount);
 
-    for (std::uint32_t canary : canaries_)
-        board_.device().bram(canary).fill(0xFFFF);
+    refillCanaries();
 
     setpointMv_ = board_.vccBramMv();
     floorMv_ = config_.floorMv > 0 ? config_.floorMv
                                    : board_.spec().calib.bramVcrashMv;
 }
 
-int
+void
+VoltageGovernor::refillCanaries()
+{
+    for (std::uint32_t canary : canaries_)
+        board_.device().bram(canary).fill(0xFFFF);
+}
+
+Expected<int>
 VoltageGovernor::countCanaryFaults()
 {
     board_.startRun();
     int faults = 0;
-    for (std::uint32_t canary : canaries_)
-        faults += board_.countBramFaults(canary);
+    for (std::uint32_t canary : canaries_) {
+        // Canaries are read over the serial link like any deployed
+        // monitor would, so a harsh environment can make the reading
+        // itself uncertain — which the control law must survive.
+        auto observed = board_.tryReadBramToHost(canary);
+        if (!observed.ok())
+            return observed.error();
+        for (std::uint16_t word : observed.value())
+            faults += std::popcount(
+                static_cast<unsigned>(word ^ 0xFFFFu) & 0xFFFFu);
+    }
     return faults;
 }
 
@@ -65,7 +81,37 @@ GovernorStep
 VoltageGovernor::step()
 {
     GovernorStep record;
-    record.canaryFaults = countCanaryFaults();
+    const std::uint64_t retransmits_before =
+        board_.link().stats().retransmits;
+    auto faults = countCanaryFaults();
+    record.linkRetries =
+        board_.link().stats().retransmits - retransmits_before;
+
+    if (!faults.ok()) {
+        if (faults.code() == Errc::crashDetected) {
+            // The configuration died under us. Reconfigure, re-arm the
+            // canaries (their fill comes back with the bitstream), and
+            // back off by the guard distance before trusting any level
+            // again.
+            board_.softReset();
+            refillCanaries();
+            holdMv_ = setpointMv_ + config_.guardSteps * config_.stepMv;
+            cleanStreak_ = 0;
+            setpointMv_ = std::min(holdMv_, board_.spec().vnomMv);
+            record.backedOff = true;
+            record.health = GovernorHealth::recovered;
+        } else {
+            // Uncertain reading (the link gave up): a missing answer is
+            // not a clean answer. Hold the present level; never descend
+            // on uncertainty.
+            cleanStreak_ = 0;
+            record.health = GovernorHealth::heldUncertain;
+        }
+        board_.setVccBramMv(setpointMv_);
+        record.commandedMv = setpointMv_;
+        return record;
+    }
+    record.canaryFaults = faults.value();
 
     static_assert(reprobeAfterCleanSteps > 1);
     if (record.canaryFaults > 0) {
@@ -100,7 +146,8 @@ VoltageGovernor::settle(int max_steps)
         trace.push_back(step());
         const int commanded = trace.back().commandedMv;
         if (commanded == previous && !trace.back().backedOff &&
-            trace.back().canaryFaults == 0) {
+            trace.back().canaryFaults == 0 &&
+            trace.back().health == GovernorHealth::ok) {
             break;
         }
         previous = commanded;

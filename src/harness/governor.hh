@@ -17,6 +17,13 @@
  * Because the canaries are the chip's weakest cells under the
  * worst-case pattern, canary-clean implies payload-clean with margin —
  * the same ordering argument ICBP uses, run in reverse.
+ *
+ * In a harsh environment the reading itself can be wrong or missing, so
+ * the control law is defensive: an uncertain canary read (serial link
+ * exhausted) holds the setpoint rather than descending on silence, and
+ * a crashed configuration is recovered (soft reset + canary re-arm)
+ * followed by a guard-distance back-off. Every step reports its health
+ * so a deployment can see when the loop is flying on instruments.
  */
 
 #ifndef UVOLT_HARNESS_GOVERNOR_HH
@@ -40,12 +47,22 @@ struct GovernorConfig
     int stepMv = 10;         ///< regulator granularity
 };
 
+/** What the control loop knows about its own last reading. */
+enum class GovernorHealth
+{
+    ok,            ///< canary read succeeded; decision is trustworthy
+    heldUncertain, ///< canary read uncertain (link gave up); held level
+    recovered,     ///< configuration crashed; reconfigured and backed off
+};
+
 /** One control-loop step record. */
 struct GovernorStep
 {
     int commandedMv = 0;
     int canaryFaults = 0;
     bool backedOff = false; ///< this step raised the rail
+    GovernorHealth health = GovernorHealth::ok;
+    std::uint64_t linkRetries = 0; ///< serial retransmits this step
 };
 
 /**
@@ -89,7 +106,8 @@ class VoltageGovernor
     int setpointMv() const { return setpointMv_; }
 
   private:
-    int countCanaryFaults();
+    Expected<int> countCanaryFaults();
+    void refillCanaries();
 
     pmbus::Board &board_;
     GovernorConfig config_;

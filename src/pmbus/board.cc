@@ -11,7 +11,7 @@ Board::Board(const fpga::PlatformSpec &spec,
     : device_(spec),
       faults_(std::make_unique<vmodel::ChipFaultModel>(
           spec, device_.floorplan(), params)),
-      regulator_([this] { return ambientC_; }),
+      regulator_([this] { return effectiveAmbientC(); }),
       runRng_(combineSeeds(hashSeed(spec.serialNumber),
                            hashSeed("run-jitter")))
 {
@@ -24,20 +24,77 @@ Board::Board(const fpga::PlatformSpec &spec,
 }
 
 void
+Board::attachNoise(const NoiseConfig &config)
+{
+    injector_ = std::make_unique<FaultInjector>(config);
+    link_.attachInjector(injector_.get());
+    regulator_.attachInjector(injector_.get());
+}
+
+void
+Board::setMaxPmbusAttempts(int attempts)
+{
+    if (attempts < 1)
+        fatal("PMBus path needs at least one attempt, got {}", attempts);
+    maxPmbusAttempts_ = attempts;
+}
+
+Expected<void>
+Board::writeVerifiedSetpoint(int page, int mv)
+{
+    const int expected_mv = quantizeSetpointMv(mv);
+    const std::uint16_t code = encodeLinear16(mv / 1000.0);
+    for (int attempt = 0; attempt < maxPmbusAttempts_; ++attempt) {
+        if (attempt > 0)
+            ++pmbusStats_.retries;
+        ++pmbusStats_.transactions;
+        if (!regulator_.tryWriteByte(Command::Page,
+                                     static_cast<std::uint8_t>(page)))
+            continue;
+        ++pmbusStats_.transactions;
+        if (!regulator_.tryWriteWord(Command::VoutCommand, code))
+            continue;
+        // Verify-after-write: read the latched setpoint back and make
+        // sure the DAC holds the commanded code, not a jittered one.
+        std::uint16_t readback = 0;
+        ++pmbusStats_.transactions;
+        if (!regulator_.tryReadWord(Command::ReadVout, readback))
+            continue;
+        const int latched_mv = quantizeSetpointMv(static_cast<int>(
+            decodeLinear16(readback) * 1000.0 + 0.5));
+        if (latched_mv == expected_mv)
+            return {};
+        ++pmbusStats_.verifyMismatches;
+    }
+    ++pmbusStats_.exhausted;
+    return makeError(Errc::pmbusExhausted,
+                     "{}: page {} setpoint {} mV not acknowledged and "
+                     "verified within {} attempts",
+                     spec().name, page, mv, maxPmbusAttempts_);
+}
+
+Expected<void>
+Board::trySetVccBramMv(int mv)
+{
+    return writeVerifiedSetpoint(pageBram_, mv);
+}
+
+Expected<void>
+Board::trySetVccIntMv(int mv)
+{
+    return writeVerifiedSetpoint(pageInt_, mv);
+}
+
+void
 Board::setVccBramMv(int mv)
 {
-    regulator_.writeByte(Command::Page,
-                         static_cast<std::uint8_t>(pageBram_));
-    regulator_.writeWord(Command::VoutCommand,
-                         encodeLinear16(mv / 1000.0));
+    trySetVccBramMv(mv).orFatal();
 }
 
 void
 Board::setVccIntMv(int mv)
 {
-    regulator_.writeByte(Command::Page, static_cast<std::uint8_t>(pageInt_));
-    regulator_.writeWord(Command::VoutCommand,
-                         encodeLinear16(mv / 1000.0));
+    trySetVccIntMv(mv).orFatal();
 }
 
 int
@@ -46,18 +103,80 @@ Board::vccBramMv() const
     return device_.rail(fpga::RailId::VccBram).millivolts();
 }
 
+double
+Board::effectiveAmbientC() const
+{
+    return ambientC_ + (injector_ ? injector_->tempDriftC() : 0.0);
+}
+
 void
 Board::softReset()
 {
+    // Reconfiguration restores the DONE pin before the rails come back,
+    // so the setpoint writes below run on an operational board.
+    forcedCrash_ = false;
+    crashCountdown_ = -1;
     setVccBramMv(spec().vnomMv);
     setVccIntMv(spec().vnomMv);
     runJitterV_ = 0.0;
 }
 
 void
+Board::armCrashSchedule() const
+{
+    crashCountdown_ = injector_
+        ? injector_->armCrash(vccBramMv(), spec().calib.bramVcrashMv,
+                              device_.bramCount())
+        : -1;
+}
+
+bool
+Board::crashFires() const
+{
+    if (crashCountdown_ < 0)
+        return false;
+    if (crashCountdown_-- > 0)
+        return false;
+    forcedCrash_ = true;
+    injector_->recordSpuriousCrash();
+    return true;
+}
+
+void
 Board::startRun()
 {
     runJitterV_ = runRng_.gaussian(0.0, spec().calib.runJitterMv / 1000.0);
+    ++runsStarted_;
+    if (injector_)
+        injector_->nextTempDriftC();
+    armCrashSchedule();
+}
+
+void
+Board::startReferenceRun()
+{
+    runJitterV_ = 0.0;
+    armCrashSchedule();
+}
+
+void
+Board::resumeRun(double jitter_v)
+{
+    runJitterV_ = jitter_v;
+    // A fresh crash schedule is drawn: the retried run faces fresh luck,
+    // not a replay of the crash that interrupted it.
+    armCrashSchedule();
+}
+
+void
+Board::fastForwardRuns(std::uint64_t runs)
+{
+    if (runsStarted_ > runs)
+        fatal("cannot fast-forward the run stream backwards: at run {}, "
+              "asked for {}",
+              runsStarted_, runs);
+    while (runsStarted_ < runs)
+        startRun();
 }
 
 bool
@@ -70,36 +189,65 @@ Board::internalLogicFaulty() const
 double
 Board::effectiveVoltage() const
 {
-    return faults_->effectiveVoltage(vccBramMv() / 1000.0, ambientC_,
-                                     runJitterV_);
+    return faults_->effectiveVoltage(vccBramMv() / 1000.0,
+                                     effectiveAmbientC(), runJitterV_);
+}
+
+Expected<std::vector<std::uint16_t>>
+Board::tryReadBramToHost(std::uint32_t bram) const
+{
+    if (!donePin() || crashFires()) {
+        return makeError(Errc::crashDetected,
+                         "{}: readback of BRAM {} with DONE pin low "
+                         "(configuration lost at {} mV)",
+                         spec().name, bram, vccBramMv());
+    }
+    auto observed =
+        faults_->readBram(device_.bram(bram), bram, effectiveVoltage());
+    // Ship through the CRC-verified serial path, as the real setup does.
+    auto frame = link_.transferReliable(SerialLink::packWords(observed));
+    if (!frame.ok())
+        return frame.error();
+    return SerialLink::unpackWords(frame.value().payload);
 }
 
 std::vector<std::uint16_t>
 Board::readBramToHost(std::uint32_t bram) const
 {
-    if (!donePin()) {
-        fatal("{}: readback attempted below Vcrash (DONE pin low)",
-              spec().name);
+    auto result = tryReadBramToHost(bram);
+    if (!result.ok()) {
+        if (result.code() == Errc::crashDetected)
+            fatal("{}: readback attempted below Vcrash (DONE pin low)",
+                  spec().name);
+        fatal("{}", result.error().message);
     }
-    auto observed =
-        faults_->readBram(device_.bram(bram), bram, effectiveVoltage());
-    // Ship through the (reliable) serial path, as the real setup does.
-    auto frame = const_cast<SerialLink &>(link_).transfer(
-        SerialLink::packWords(observed));
-    if (!frame.verified())
-        panic("serial link corrupted a frame; the link must be reliable");
-    return SerialLink::unpackWords(frame.payload);
+    return result.take();
+}
+
+Expected<int>
+Board::tryCountBramFaults(std::uint32_t bram) const
+{
+    if (!donePin() || crashFires()) {
+        return makeError(Errc::crashDetected,
+                         "{}: fault count of BRAM {} with DONE pin low "
+                         "(configuration lost at {} mV)",
+                         spec().name, bram, vccBramMv());
+    }
+    return faults_->countBramFaults(device_.bram(bram), bram,
+                                    effectiveVoltage());
 }
 
 int
 Board::countBramFaults(std::uint32_t bram) const
 {
-    if (!donePin()) {
-        fatal("{}: readback attempted below Vcrash (DONE pin low)",
-              spec().name);
+    auto result = tryCountBramFaults(bram);
+    if (!result.ok()) {
+        if (result.code() == Errc::crashDetected)
+            fatal("{}: readback attempted below Vcrash (DONE pin low)",
+                  spec().name);
+        fatal("{}", result.error().message);
     }
-    return faults_->countBramFaults(device_.bram(bram), bram,
-                                    effectiveVoltage());
+    return result.value();
 }
 
 double

@@ -6,6 +6,14 @@
  * software equivalent of the paper's Fig 2 setup; the characterization
  * harness only talks to this class, never to the fault model directly,
  * so the measurement path matches the hardware methodology.
+ *
+ * The board can operate in a harsh environment (attachNoise()): serial
+ * frames corrupt, PMBus transactions NACK, latched setpoints jitter,
+ * the configuration crashes spuriously in a band above Vcrash, and the
+ * ambient drifts. The instrumentation path then defends itself with
+ * CRC-verified retransmission, verify-after-write setpoint retries, and
+ * a recoverable-error measurement path (try* methods) that campaign
+ * engines use to soft-reset and resume instead of dying.
  */
 
 #ifndef UVOLT_PMBUS_BOARD_HH
@@ -17,13 +25,24 @@
 
 #include "fpga/device.hh"
 #include "fpga/platform.hh"
+#include "pmbus/fault_injector.hh"
 #include "pmbus/serial_link.hh"
 #include "pmbus/ucd9248.hh"
+#include "util/error.hh"
 #include "util/rng.hh"
 #include "vmodel/chip_fault_model.hh"
 
 namespace uvolt::pmbus
 {
+
+/** Error/retry counters of the PMBus control channel. */
+struct PmbusStats
+{
+    std::uint64_t transactions = 0;     ///< attempted bus transactions
+    std::uint64_t retries = 0;          ///< transaction-level retries
+    std::uint64_t verifyMismatches = 0; ///< setpoints rewritten by verify
+    std::uint64_t exhausted = 0;        ///< setpoint writes that gave up
+};
 
 /** One instrumented board under test. */
 class Board
@@ -44,12 +63,37 @@ class Board
     const vmodel::ChipFaultModel &faultModel() const { return *faults_; }
     Ucd9248 &regulator() { return regulator_; }
     SerialLink &link() { return link_; }
+    const SerialLink &link() const { return link_; }
+
+    /**
+     * Put the board in a harsh environment: all instrumentation channels
+     * start drawing injected faults from a seeded stream. Call once,
+     * before a campaign; the quiet default has zero overhead.
+     */
+    void attachNoise(const NoiseConfig &config);
+
+    /** The active noise source (nullptr in the quiet lab). */
+    const FaultInjector *injector() const { return injector_.get(); }
+
+    /** Bound on PMBus setpoint write/verify attempts (>= 1). */
+    void setMaxPmbusAttempts(int attempts);
+
+    /** Per-channel error/retry statistics of the control path. */
+    const PmbusStats &pmbusStats() const { return pmbusStats_; }
 
     /** Command VCCBRAM through the PMBus path (PAGE + VOUT_COMMAND). */
     void setVccBramMv(int mv);
 
     /** Command VCCINT through the PMBus path. */
     void setVccIntMv(int mv);
+
+    /**
+     * Harsh-environment setpoint write: PAGE + VOUT_COMMAND + READ_VOUT
+     * verify-after-write, retrying NACKed or mis-latched transactions up
+     * to the attempt bound. Error pmbusExhausted when it never converges.
+     */
+    Expected<void> trySetVccBramMv(int mv);
+    Expected<void> trySetVccIntMv(int mv);
 
     /** Current VCCBRAM level as the regulator reports it. */
     int vccBramMv() const;
@@ -58,8 +102,11 @@ class Board
     void setAmbientC(double temp_c) { ambientC_ = temp_c; }
     double ambientC() const { return ambientC_; }
 
+    /** Commanded ambient plus any harsh-environment drift. */
+    double effectiveAmbientC() const;
+
     /** DONE pin: high while the configuration is alive (not crashed). */
-    bool donePin() const { return device_.operational(); }
+    bool donePin() const { return device_.operational() && !forcedCrash_; }
 
     /** Restore nominal voltages after a crash probe (soft reset). */
     void softReset();
@@ -75,7 +122,27 @@ class Board
      * Begin a jitter-free reference run: the deterministic median-run
      * conditions used when extracting per-BRAM maps.
      */
-    void startReferenceRun() { runJitterV_ = 0.0; }
+    void startReferenceRun();
+
+    /** Supply jitter of the run in progress, volts. */
+    double runJitterV() const { return runJitterV_; }
+
+    /**
+     * Re-enter a run after crash recovery with the jitter it already
+     * drew, so the retried run reproduces the interrupted one exactly
+     * (no fresh draw from the run-jitter stream).
+     */
+    void resumeRun(double jitter_v);
+
+    /** startRun() calls made so far (the run-jitter stream cursor). */
+    std::uint64_t runsStarted() const { return runsStarted_; }
+
+    /**
+     * Replay @a runs startRun() draws without measuring: positions the
+     * run-jitter stream for a checkpoint resume so the continued
+     * campaign equals the uninterrupted one bit for bit.
+     */
+    void fastForwardRuns(std::uint64_t runs);
 
     /**
      * Self-check of the programmed design's internal logic (substitute
@@ -87,9 +154,18 @@ class Board
     /**
      * Read one BRAM back to the host over the serial link under the
      * present voltage/temperature/jitter conditions.
-     * fatal() if the device has crashed (DONE low).
+     * fatal() if the device has crashed (DONE low) or the link gave up.
      */
     std::vector<std::uint16_t> readBramToHost(std::uint32_t bram) const;
+
+    /**
+     * Recoverable readback: crashDetected when the configuration is (or
+     * just spuriously went) down, linkExhausted when retransmission ran
+     * out of attempts. The board stays consistent; a softReset() +
+     * re-fill recovers it.
+     */
+    Expected<std::vector<std::uint16_t>>
+    tryReadBramToHost(std::uint32_t bram) const;
 
     /**
      * Count faults in one BRAM against its written contents without
@@ -98,6 +174,9 @@ class Board
      */
     int countBramFaults(std::uint32_t bram) const;
 
+    /** Recoverable fault count; crashDetected as tryReadBramToHost(). */
+    Expected<int> tryCountBramFaults(std::uint32_t bram) const;
+
     /** Effective bitcell voltage under the current conditions. */
     double effectiveVoltage() const;
 
@@ -105,14 +184,27 @@ class Board
     double measureBramPowerW() const;
 
   private:
+    /** Retryable PAGE + VOUT_COMMAND + READ_VOUT verify sequence. */
+    Expected<void> writeVerifiedSetpoint(int page, int mv);
+
+    /** Arm / fire the injected spurious-crash schedule. */
+    void armCrashSchedule() const;
+    bool crashFires() const;
+
     fpga::Device device_;
     std::unique_ptr<vmodel::ChipFaultModel> faults_;
     Ucd9248 regulator_;
-    SerialLink link_;
+    mutable SerialLink link_;
+    std::unique_ptr<FaultInjector> injector_;
+    mutable PmbusStats pmbusStats_;
     int pageBram_;
     int pageInt_;
+    int maxPmbusAttempts_ = 8;
     double ambientC_ = vmodel::referenceTempC;
     double runJitterV_ = 0.0;
+    std::uint64_t runsStarted_ = 0;
+    mutable bool forcedCrash_ = false;
+    mutable int crashCountdown_ = -1; ///< ops until injected crash; -1 off
     Rng runRng_;
 };
 

@@ -1,0 +1,101 @@
+#include "pmbus/fault_injector.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace uvolt::pmbus
+{
+
+bool
+NoiseConfig::any() const
+{
+    return frameCorruptProb > 0.0 || pmbusNackProb > 0.0 ||
+        setpointJitterProb > 0.0 || spuriousCrashProb > 0.0 ||
+        tempDriftC > 0.0;
+}
+
+NoiseConfig
+NoiseConfig::harsh(std::uint64_t seed, double p)
+{
+    NoiseConfig config;
+    config.seed = seed;
+    config.frameCorruptProb = p;
+    config.pmbusNackProb = p;
+    config.setpointJitterProb = p;
+    config.spuriousCrashProb = p;
+    return config;
+}
+
+FaultInjector::FaultInjector(const NoiseConfig &config)
+    : config_(config),
+      rng_(combineSeeds(hashSeed("harsh-environment"), config.seed))
+{
+    if (config_.frameCorruptProb < 0.0 || config_.frameCorruptProb > 1.0 ||
+        config_.pmbusNackProb < 0.0 || config_.pmbusNackProb > 1.0 ||
+        config_.setpointJitterProb < 0.0 ||
+        config_.setpointJitterProb > 1.0 ||
+        config_.spuriousCrashProb < 0.0 || config_.spuriousCrashProb > 1.0)
+        fatal("noise probabilities must lie in [0, 1]");
+    if (config_.crashBandMv < 0)
+        fatal("crash band must be non-negative, got {} mV",
+              config_.crashBandMv);
+}
+
+bool
+FaultInjector::corruptThisFrame()
+{
+    if (config_.frameCorruptProb <= 0.0 ||
+        !rng_.chance(config_.frameCorruptProb))
+        return false;
+    ++stats_.framesCorrupted;
+    return true;
+}
+
+bool
+FaultInjector::nackThisTransaction()
+{
+    if (config_.pmbusNackProb <= 0.0 || !rng_.chance(config_.pmbusNackProb))
+        return false;
+    ++stats_.nacks;
+    return true;
+}
+
+int
+FaultInjector::perturbSetpoint(int mv, int step_mv)
+{
+    if (config_.setpointJitterProb <= 0.0 ||
+        !rng_.chance(config_.setpointJitterProb))
+        return mv;
+    ++stats_.setpointJitters;
+    return rng_.chance(0.5) ? mv + step_mv : mv - step_mv;
+}
+
+int
+FaultInjector::armCrash(int level_mv, int vcrash_mv, std::uint32_t op_count)
+{
+    if (config_.spuriousCrashProb <= 0.0 || op_count == 0)
+        return -1;
+    // Spurious crashes live in the band just above Vcrash: the paper's
+    // "harsh environment" pushes marginal levels over the edge, while
+    // comfortably high levels stay stable.
+    if (level_mv <= vcrash_mv || level_mv > vcrash_mv + config_.crashBandMv)
+        return -1;
+    if (!rng_.chance(config_.spuriousCrashProb))
+        return -1;
+    return static_cast<int>(rng_.uniformInt(0, op_count - 1));
+}
+
+double
+FaultInjector::nextTempDriftC()
+{
+    if (config_.tempDriftC <= 0.0)
+        return 0.0;
+    // Mean-reverting walk bounded to a few step sizes of amplitude.
+    driftC_ = 0.9 * driftC_ + rng_.gaussian(0.0, config_.tempDriftC);
+    driftC_ = std::clamp(driftC_, -5.0 * config_.tempDriftC,
+                         5.0 * config_.tempDriftC);
+    return driftC_;
+}
+
+} // namespace uvolt::pmbus

@@ -1,5 +1,8 @@
 #include "pmbus/serial_link.hh"
 
+#include <algorithm>
+
+#include "pmbus/fault_injector.hh"
 #include "util/logging.hh"
 
 namespace uvolt::pmbus
@@ -28,9 +31,42 @@ SerialLink::transfer(const std::vector<std::uint8_t> &payload)
     SerialFrame frame;
     frame.payload = payload;
     frame.crc = crc16(payload);
-    ++framesSent_;
-    bytesSent_ += payload.size();
+    if (injector_ && !payload.empty() && injector_->corruptThisFrame()) {
+        // Line noise flips a byte in flight; the CRC no longer matches.
+        frame.payload[frame.payload.size() / 2] ^= 0xFF;
+    }
+    ++stats_.framesSent;
+    stats_.bytesSent += payload.size();
     return frame;
+}
+
+Expected<SerialFrame>
+SerialLink::transferReliable(const std::vector<std::uint8_t> &payload)
+{
+    for (int attempt = 0; attempt < maxAttempts_; ++attempt) {
+        if (attempt > 0) {
+            ++stats_.retransmits;
+            // Exponential backoff in virtual line-time units.
+            stats_.backoffTicks += 1ULL << std::min(attempt, 16);
+        }
+        SerialFrame frame = transfer(payload);
+        if (frame.verified())
+            return frame;
+        ++stats_.crcErrors;
+    }
+    ++stats_.exhausted;
+    return makeError(Errc::linkExhausted,
+                     "serial transfer of {} bytes failed CRC on all {} "
+                     "attempts",
+                     payload.size(), maxAttempts_);
+}
+
+void
+SerialLink::setMaxAttempts(int attempts)
+{
+    if (attempts < 1)
+        fatal("serial link needs at least one attempt, got {}", attempts);
+    maxAttempts_ = attempts;
 }
 
 std::vector<std::uint8_t>

@@ -1,24 +1,20 @@
 #include "pmbus/ucd9248.hh"
 
+#include <algorithm>
 #include <cmath>
 
+#include "pmbus/fault_injector.hh"
 #include "util/logging.hh"
 
 namespace uvolt::pmbus
 {
 
-namespace
-{
-
-/** Round a millivolt setpoint to the DAC granularity. */
 int
-quantizeMv(int mv)
+quantizeSetpointMv(int mv)
 {
     const int half = voutStepMv / 2;
     return ((mv + (mv >= 0 ? half : -half)) / voutStepMv) * voutStepMv;
 }
-
-} // namespace
 
 Ucd9248::Ucd9248(std::function<double()> temperature_source)
     : temperatureSource_(std::move(temperature_source))
@@ -91,7 +87,7 @@ Ucd9248::writeWord(Command command, std::uint16_t value)
       case Command::VoutCommand: {
         const double volts = decodeLinear16(value);
         auto &page = currentPage();
-        page.setpointMv = quantizeMv(
+        page.setpointMv = quantizeSetpointMv(
             static_cast<int>(std::lround(volts * 1000.0)));
         if (page.enabled && page.apply)
             page.apply(page.setpointMv);
@@ -101,6 +97,46 @@ Ucd9248::writeWord(Command command, std::uint16_t value)
         fatal("unsupported PMBus word write, command 0x{:02x}",
               static_cast<unsigned>(command));
     }
+}
+
+bool
+Ucd9248::tryWriteByte(Command command, std::uint8_t value)
+{
+    if (injector_ && injector_->nackThisTransaction())
+        return false;
+    writeByte(command, value);
+    return true;
+}
+
+bool
+Ucd9248::tryWriteWord(Command command, std::uint16_t value)
+{
+    if (injector_ && injector_->nackThisTransaction())
+        return false;
+    if (command == Command::VoutCommand && injector_) {
+        // The harsh environment can make the DAC latch one step off the
+        // commanded code; verify-after-write is the caller's defence.
+        const int commanded_mv = quantizeSetpointMv(
+            static_cast<int>(std::lround(decodeLinear16(value) * 1000.0)));
+        const int latched_mv =
+            injector_->perturbSetpoint(commanded_mv, voutStepMv);
+        if (latched_mv != commanded_mv) {
+            writeWord(command,
+                      encodeLinear16(std::max(latched_mv, 0) / 1000.0));
+            return true;
+        }
+    }
+    writeWord(command, value);
+    return true;
+}
+
+bool
+Ucd9248::tryReadWord(Command command, std::uint16_t &value_out) const
+{
+    if (injector_ && injector_->nackThisTransaction())
+        return false;
+    value_out = readWord(command);
+    return true;
 }
 
 std::uint8_t

@@ -22,8 +22,13 @@
 namespace uvolt::pmbus
 {
 
+class FaultInjector;
+
 /** DAC setpoint granularity in millivolts. */
 constexpr int voutStepMv = 10;
+
+/** Round a millivolt setpoint to the DAC granularity. */
+int quantizeSetpointMv(int mv);
 
 /** One regulated output page (rail) of the controller. */
 struct RegulatorPage
@@ -55,6 +60,20 @@ class Ucd9248
     std::uint8_t readByte(Command command) const;
     std::uint16_t readWord(Command command) const;
 
+    /**
+     * Harsh-environment transactions: same semantics as the plain
+     * write/read calls above, but a transaction can be NACKed (returns
+     * false, no side effect)
+     * and a latched VOUT setpoint can land one DAC step off the
+     * commanded code. Callers own the retry / verify-after-write policy.
+     */
+    bool tryWriteByte(Command command, std::uint8_t value);
+    bool tryWriteWord(Command command, std::uint16_t value);
+    bool tryReadWord(Command command, std::uint16_t &value_out) const;
+
+    /** Wire the harsh environment into the bus (nullptr = quiet). */
+    void attachInjector(FaultInjector *injector) { injector_ = injector; }
+
     /** Currently selected page index. */
     int page() const { return page_; }
 
@@ -69,6 +88,7 @@ class Ucd9248
 
     std::function<double()> temperatureSource_;
     std::vector<RegulatorPage> pages_;
+    FaultInjector *injector_ = nullptr;
     int page_ = 0;
 };
 

@@ -1,0 +1,28 @@
+#include "util/error.hh"
+
+namespace uvolt
+{
+
+const char *
+errcName(Errc code)
+{
+    switch (code) {
+      case Errc::ok:
+        return "ok";
+      case Errc::crashDetected:
+        return "crash-detected";
+      case Errc::linkExhausted:
+        return "link-exhausted";
+      case Errc::pmbusExhausted:
+        return "pmbus-exhausted";
+      case Errc::verifyExhausted:
+        return "verify-exhausted";
+      case Errc::recoveryExhausted:
+        return "recovery-exhausted";
+      case Errc::badCheckpoint:
+        return "bad-checkpoint";
+    }
+    panic("errcName: invalid Errc {}", static_cast<int>(code));
+}
+
+} // namespace uvolt
