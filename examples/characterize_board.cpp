@@ -1,7 +1,7 @@
 /**
  * @file
  * Example: full characterization campaign for one board — the paper's
- * Section II methodology in one run.
+ * Section II methodology in one Campaign call.
  *
  *  - region discovery on VCCBRAM and VCCINT (Fig 1),
  *  - Listing-1 critical-region sweep with 100 runs per level (Fig 3),
@@ -25,8 +25,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "harness/campaign.hh"
 #include "harness/clusterer.hh"
-#include "harness/experiment.hh"
 #include "harness/fault_analyzer.hh"
 #include "harness/fvm.hh"
 #include "harness/structure.hh"
@@ -77,37 +77,42 @@ main(int argc, char **argv)
         return 0;
 
     const auto &spec = fpga::findPlatform(cli.getString("platform"));
-    pmbus::Board board(spec);
-    board.setAmbientC(cli.getDouble("temp"));
     const double noise = cli.getDouble("noise");
+
+    // --- the whole Section II methodology as one Campaign ----------------
+    harness::Campaign campaign =
+        harness::Campaign::onPlatform(spec.name)
+            .withPattern(parsePattern(cli.getString("pattern")))
+            .atTemperature(cli.getDouble("temp"))
+            .sweep(static_cast<int>(cli.getInt("runs")))
+            .discoverRegions();
     if (noise != 0.0) {
-        board.attachNoise(pmbus::NoiseConfig::harsh(
+        campaign.withNoise(pmbus::NoiseConfig::harsh(
             static_cast<std::uint64_t>(cli.getInt("seed")), noise));
         std::printf("harsh environment: %.1f%% injected fault "
                     "probability on every channel (seed %ld)\n\n",
                     noise * 100.0, cli.getInt("seed"));
     }
+    const harness::FleetResult result = campaign.run().orFatal();
+    const harness::FleetJobOutcome &outcome = result.jobs.front();
 
     // --- Fig 1: voltage regions on both rails ----------------------------
     std::printf("== %s: voltage regions (S/N %s, %.0f degC)\n",
                 spec.name.c_str(), spec.serialNumber.c_str(),
-                board.ambientC());
-    for (auto rail : {fpga::RailId::VccBram, fpga::RailId::VccInt}) {
-        const auto regions = harness::discoverRegions(board, rail);
+                outcome.job.ambientC);
+    for (const auto *regions : {&*outcome.bramRegions,
+                                &*outcome.intRegions}) {
         std::printf("  %-8s nominal %d mV | SAFE >= %d mV (guardband "
                     "%.0f%%) | CRITICAL >= %d mV | CRASH below\n",
-                    railName(rail), regions.vnomMv, regions.vminMv,
-                    regions.guardband() * 100.0, regions.vcrashMv);
+                    railName(regions->rail), regions->vnomMv,
+                    regions->vminMv, regions->guardband() * 100.0,
+                    regions->vcrashMv);
     }
 
     // --- Listing 1: the critical-region sweep ----------------------------
-    harness::SweepOptions options;
-    options.pattern = parsePattern(cli.getString("pattern"));
-    options.runsPerLevel = static_cast<int>(cli.getInt("runs"));
+    const harness::SweepResult &sweep = result.onlySweep();
     std::printf("\n== Listing-1 sweep, pattern %s, %d runs/level\n",
-                options.pattern.label().c_str(), options.runsPerLevel);
-    const harness::SweepResult sweep =
-        harness::runCriticalSweep(board, options);
+                sweep.pattern.label().c_str(), sweep.runsPerLevel);
 
     TextTable table({"VCCBRAM", "median faults", "faults/Mbit",
                      "min", "max", "stddev", "1->0 share", "power W"});
@@ -126,7 +131,7 @@ main(int argc, char **argv)
         writeCsv(table, path);
 
     if (noise > 0.0) {
-        const auto &cost = sweep.resilience;
+        const auto &cost = result.resilience;
         std::printf("\n== surviving the environment: %llu crash "
                     "recoveries, %llu runs retried, %llu link "
                     "retransmits, %llu PMBus retries\n",
@@ -136,9 +141,10 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(cost.pmbusRetries));
     }
 
-    // --- Fig 5: clustering -------------------------------------------------
-    const harness::Fvm fvm =
-        harness::fvmFromSweep(sweep, board.device().floorplan());
+    // --- Fig 5: clustering (die report carries the merged FVM) ------------
+    const harness::Fvm &fvm = *result.dies.front().mergedFvm;
+    const fpga::Floorplan floorplan =
+        fpga::Floorplan::columnGrid(spec.bramCount, spec.columnHeight);
     std::printf("\n== per-BRAM distribution at Vcrash: %.1f%% fault-free, "
                 "max %.2f%%, mean %.3f%%\n",
                 fvm.faultFreeFraction() * 100.0, fvm.maxRate() * 100.0,
@@ -156,7 +162,13 @@ main(int argc, char **argv)
     }
 
     // --- within-BRAM structure of the hottest BRAM ------------------------
+    // The advanced path: this needs raw readback frames, so it talks to a
+    // Board directly instead of going through the Campaign facade.
     if (cli.getBool("bram-map")) {
+        pmbus::Board board(spec);
+        board.setAmbientC(cli.getDouble("temp"));
+        harness::fillPattern(board,
+                             parsePattern(cli.getString("pattern")));
         board.setVccBramMv(spec.calib.bramVcrashMv);
         board.startReferenceRun();
         std::vector<harness::FaultObservation> faults;
@@ -187,7 +199,7 @@ main(int argc, char **argv)
     if (cli.getBool("fvm")) {
         std::printf("\n== Fault Variation Map (top of die first; ' ' "
                     "empty, '.' clean, 1-9/# buckets)\n%s",
-                    fvm.render(board.device().floorplan()).c_str());
+                    fvm.render(floorplan).c_str());
     }
     return 0;
 }

@@ -4,23 +4,26 @@
  *
  * The paper extracts each chip's Fault Variation Map as a pre-process
  * stage and then feeds it to the compile-time ICBP constraint (Fig
- * 12b). This example mirrors that split: on the first run it
- * characterizes the chip and saves the FVM to disk; subsequent runs
- * skip the (slow) characterization, load the map, and go straight to
- * placement — exactly how a build farm would consume per-board maps.
+ * 12b). This example mirrors that split with the FvmCache: on the
+ * first run it characterizes the chip (a Campaign sweep) and files the
+ * FVM under the cache directory; subsequent runs — or concurrent build
+ * jobs, obtain() is single-flight — skip the slow characterization,
+ * load the map, and go straight to placement. Exactly how a build farm
+ * consumes per-board maps.
  *
- * Usage: fvm_cache [--platform VC707] [--file board.fvm] [--force]
+ * Usage: fvm_cache [--platform VC707] [--dir uvolt_model_cache]
+ *                  [--runs 9] [--force]
  */
 
 #include <cstdio>
+#include <filesystem>
 
 #include "accel/accelerator.hh"
 #include "accel/placement.hh"
 #include "accel/weight_image.hh"
+#include "harness/campaign.hh"
 #include "harness/clusterer.hh"
-#include "harness/experiment.hh"
 #include "harness/fvm.hh"
-#include "harness/fvm_io.hh"
 #include "nn/model_zoo.hh"
 #include "nn/quantizer.hh"
 #include "pmbus/board.hh"
@@ -33,37 +36,53 @@ main(int argc, char **argv)
 {
     CliParser cli("Characterize-once / place-many-times FVM flow");
     cli.addString("platform", "VC707", "board to use");
-    cli.addString("file", "", "FVM cache path (default <platform>.fvm)");
+    cli.addString("dir", "", "FVM cache directory (default "
+                             "UVOLT_CACHE_DIR or ./uvolt_model_cache)");
+    cli.addInt("runs", 9, "characterization runs per voltage level");
     cli.addBool("force", "re-characterize even if the cache exists");
     if (!cli.parse(argc, argv))
         return 0;
 
     const auto &spec = fpga::findPlatform(cli.getString("platform"));
-    pmbus::Board board(spec);
-    std::string path = cli.getString("file");
-    if (path.empty())
-        path = spec.name + ".fvm";
+    const auto pattern = harness::PatternSpec::allOnes();
+    const int runs = static_cast<int>(cli.getInt("runs"));
+
+    std::string dir = cli.getString("dir");
+    if (dir.empty())
+        dir = harness::FvmCache::defaultDirectory();
+    harness::FvmCache cache(dir);
+    if (cli.getBool("force")) {
+        std::error_code ec;
+        std::filesystem::remove(
+            dir + "/" + harness::FvmCache::keyFor(spec, pattern, runs) +
+                ".fvm",
+            ec);
+    }
 
     // --- Stage 1: obtain the chip's FVM (from cache if possible) ---------
-    std::optional<harness::Fvm> fvm;
-    if (!cli.getBool("force"))
-        fvm = harness::loadFvm(board.device().floorplan(), path);
-    if (fvm) {
-        std::printf("loaded FVM for %s from %s (%.1f%% fault-free "
-                    "BRAMs)\n",
-                    fvm->platform().c_str(), path.c_str(),
-                    fvm->faultFreeFraction() * 100.0);
-    } else {
-        std::printf("no usable FVM cache at %s; characterizing %s "
-                    "(Listing 1)...\n", path.c_str(), spec.name.c_str());
-        harness::SweepOptions options;
-        options.runsPerLevel = 9;
-        const harness::SweepResult sweep =
-            harness::runCriticalSweep(board, options);
-        fvm = harness::fvmFromSweep(sweep, board.device().floorplan());
-        if (harness::saveFvm(*fvm, board.device().floorplan(), path))
-            std::printf("saved FVM to %s\n", path.c_str());
-    }
+    const auto fvm =
+        cache
+            .obtain(spec, pattern, runs,
+                    [&]() -> Expected<harness::Fvm> {
+                        std::printf("no usable FVM cache for %s; "
+                                    "characterizing (Listing 1)...\n",
+                                    spec.name.c_str());
+                        auto result = harness::Campaign::onPlatform(
+                                          spec.name)
+                                          .withPattern(pattern)
+                                          .sweep(runs)
+                                          .run();
+                        if (!result.ok())
+                            return result.error();
+                        return *result.value().dies.front().mergedFvm;
+                    })
+            .orFatal();
+
+    const auto stats = cache.stats();
+    std::printf("FVM for %s out of %s (%s; %.1f%% fault-free BRAMs)\n",
+                fvm->platform().c_str(), cache.directory().c_str(),
+                stats.misses ? "freshly characterized" : "cache hit",
+                fvm->faultFreeFraction() * 100.0);
 
     // --- Stage 2: compile-time use of the map ----------------------------
     const harness::ClusterReport clusters = harness::clusterBrams(*fvm);
@@ -71,6 +90,7 @@ main(int argc, char **argv)
                 clusters.lowVulnerableBrams.size(),
                 clusters.shareOf(harness::VulnClass::Low) * 100.0);
 
+    pmbus::Board board(spec);
     const nn::ZooSpec zoo = nn::paperForestSpec();
     const nn::QuantizedModel model = nn::quantize(nn::trainOrLoad(zoo));
     const accel::WeightImage image(model);

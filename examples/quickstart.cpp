@@ -2,13 +2,14 @@
  * @file
  * Quickstart: a five-minute tour of the library.
  *
- *  1. Power up a modeled Xilinx board (VC707 by default).
- *  2. Discover its SAFE / CRITICAL / CRASH voltage regions (Fig 1).
- *  3. Read BRAMs back at a reduced voltage and look at real faults.
+ *  1. Describe a characterization campaign with the Campaign builder
+ *     (one modeled Xilinx board, the paper's 0xFFFF pattern).
+ *  2. Run it: region discovery (Fig 1) + a Listing-1 sweep in one call.
+ *  3. Peek under the hood: read a faulty BRAM back over the serial link.
  *  4. Ask the power model what the trip was worth.
  *
  * Usage: quickstart [--platform VC707|ZC702|KC705-A|KC705-B]
- *                   [--noise 0.02] [--seed 1]
+ *                   [--runs 25] [--noise 0.02] [--seed 1]
  *
  * With --noise p the board sits in a harsh environment: serial frames
  * corrupt, PMBus transactions NACK, setpoints jitter, and the
@@ -19,7 +20,7 @@
 
 #include <cstdio>
 
-#include "harness/experiment.hh"
+#include "harness/campaign.hh"
 #include "harness/fault_analyzer.hh"
 #include "power/power_model.hh"
 #include "pmbus/board.hh"
@@ -32,39 +33,53 @@ main(int argc, char **argv)
 {
     CliParser cli("Quickstart tour of the FPGA undervolting library");
     cli.addString("platform", "VC707", "board to model");
+    cli.addInt("runs", 25, "repetitions per voltage level");
     cli.addDouble("noise", 0.0,
                   "harsh-environment fault probability (0..1)");
     cli.addInt("seed", 1, "seed for the injected-fault stream");
     if (!cli.parse(argc, argv))
         return 0;
 
-    // 1. Power up a board: device model + UCD9248 regulator + serial
-    //    readback link + this chip's deterministic fault personality.
     const auto &spec = fpga::findPlatform(cli.getString("platform"));
-    pmbus::Board board(spec);
+    std::printf("%s (%s, %s): %u BRAMs of 16 kbit, VCCBRAM nominal %d mV\n",
+                spec.name.c_str(), spec.family.c_str(),
+                spec.chipModel.c_str(), spec.bramCount, spec.vnomMv);
+
+    // 1.+2. One fluent description, one call: find the SAFE / CRITICAL /
+    //    CRASH regions of Fig 1, then sweep the critical region per the
+    //    paper's Listing 1. Everything below rides on the result.
+    harness::Campaign campaign =
+        harness::Campaign::onPlatform(spec.name)
+            .withPattern(harness::PatternSpec::allOnes())
+            .sweep(static_cast<int>(cli.getInt("runs")))
+            .discoverRegions();
     const double noise = cli.getDouble("noise");
     if (noise != 0.0) {
-        board.attachNoise(pmbus::NoiseConfig::harsh(
+        campaign.withNoise(pmbus::NoiseConfig::harsh(
             static_cast<std::uint64_t>(cli.getInt("seed")), noise));
         std::printf("harsh environment: %.1f%% injected fault "
                     "probability on every channel\n",
                     noise * 100.0);
     }
-    std::printf("%s (%s, %s): %u BRAMs of 16 kbit, VCCBRAM nominal %d mV\n",
-                spec.name.c_str(), spec.family.c_str(),
-                spec.chipModel.c_str(), spec.bramCount, spec.vnomMv);
+    const harness::FleetResult result = campaign.run().orFatal();
+    const harness::FleetJobOutcome &outcome = result.jobs.front();
 
-    // 2. Find the voltage regions by stepping the rail down 10 mV at a
-    //    time, exactly like the paper's Fig 1 experiment.
-    const harness::RegionResult regions =
-        harness::discoverRegions(board, fpga::RailId::VccBram);
+    const harness::RegionResult &regions = *outcome.bramRegions;
     std::printf("SAFE down to %d mV (guardband %.0f%%), CRITICAL down to "
                 "%d mV, then CRASH\n",
                 regions.vminMv, regions.guardband() * 100.0,
                 regions.vcrashMv);
 
-    // 3. Fill the BRAMs with 0xFFFF, drop into the critical region, and
-    //    read one faulty BRAM back over the serial link.
+    const harness::SweepPoint &worst = outcome.sweep.atVcrash();
+    std::printf("at %d mV: median %.0f faulty bitcells (%.0f per Mbit), "
+                "%.2f%% of them \"1\"->\"0\" flips\n",
+                worst.vccBramMv, worst.medianFaults, worst.faultsPerMbit,
+                worst.oneToZeroFraction * 100.0);
+
+    // 3. Under the hood (the advanced path the builder wraps): power up
+    //    the board directly, drop into the critical region, and read one
+    //    faulty BRAM back over the serial link.
+    pmbus::Board board(spec);
     harness::fillPattern(board, harness::PatternSpec::allOnes());
     board.setVccBramMv(regions.vcrashMv);
     board.startReferenceRun();
@@ -74,19 +89,12 @@ main(int argc, char **argv)
     for (std::uint32_t b = 0; b < board.device().bramCount(); ++b)
         harness::diffBram(board.device().bram(b), board.readBramToHost(b),
                           b, faults, summary);
-    std::printf("at %d mV: %llu faulty bitcells (%.0f per Mbit), "
-                "%.2f%% of them \"1\"->\"0\" flips\n",
-                regions.vcrashMv,
-                static_cast<unsigned long long>(summary.totalFaults),
-                harness::faultsPerMbit(
-                    static_cast<double>(summary.totalFaults),
-                    board.device().totalBits()),
-                summary.oneToZeroFraction() * 100.0);
     if (!faults.empty()) {
         const auto &first = faults.front();
         std::printf("first fault: BRAM %u, row %u, bit %u\n", first.bram,
                     first.row, first.col);
     }
+    board.softReset();
 
     // 4. What was it worth? Ask the power model.
     const power::RailPowerModel rail(spec);
@@ -96,20 +104,15 @@ main(int argc, char **argv)
                 rail.bramPower(1.0) / rail.bramPower(regions.vminMv / 1e3),
                 rail.bramPower(regions.vcrashMv / 1e3));
 
-    board.softReset();
-    std::printf("board reset to nominal; DONE pin %s\n",
-                board.donePin() ? "high" : "low");
-
     if (noise > 0.0) {
-        const auto &link = board.link().stats();
-        const auto &bus = board.pmbusStats();
-        std::printf("surviving the environment cost: %llu frame CRC "
-                    "errors -> %llu retransmits, %llu PMBus retries, "
-                    "%llu setpoints rewritten\n",
-                    static_cast<unsigned long long>(link.crcErrors),
-                    static_cast<unsigned long long>(link.retransmits),
-                    static_cast<unsigned long long>(bus.retries),
-                    static_cast<unsigned long long>(bus.verifyMismatches));
+        const auto &cost = result.resilience;
+        std::printf("surviving the environment cost: %llu crash "
+                    "recoveries, %llu runs retried, %llu link "
+                    "retransmits, %llu PMBus retries\n",
+                    static_cast<unsigned long long>(cost.crashRecoveries),
+                    static_cast<unsigned long long>(cost.runsRetried),
+                    static_cast<unsigned long long>(cost.linkRetransmits),
+                    static_cast<unsigned long long>(cost.pmbusRetries));
     }
     return 0;
 }

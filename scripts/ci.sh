@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: a plain optimized build, then an
-# AddressSanitizer+UBSan build (UVOLT_SANITIZE=ON). The sanitized pass
-# exists for the resilience layer in particular — retry loops, crash
-# recovery, and checkpoint resume juggle buffers and board state in ways
-# worth running under ASan every time.
+# Tier-1 verification, three times: a plain optimized build, an
+# AddressSanitizer+UBSan build (UVOLT_SANITIZE=ON), and a
+# ThreadSanitizer build (UVOLT_SANITIZE=thread) of the concurrent
+# suites. The ASan pass exists for the resilience layer in particular —
+# retry loops, crash recovery, and checkpoint resume juggle buffers and
+# board state in ways worth running under ASan every time. The TSan
+# pass guards the fleet engine: the ThreadPool, the single-flight
+# FvmCache, and parallel campaigns sharing chip models.
 #
 # Usage: scripts/ci.sh [jobs]
 
@@ -28,4 +31,13 @@ echo "== tier 1: sanitized build (ASan + UBSan) =="
 # those intentional exits would drown the signal.
 ASAN_OPTIONS=detect_leaks=0 run_suite build-asan -DUVOLT_SANITIZE=ON
 
-echo "== both suites passed =="
+echo "== tier 1: thread-sanitized build (TSan) =="
+# Only the suites that actually spin threads: the fleet engine and the
+# resilience layer it schedules. A TSan run of everything would triple
+# CI time for single-threaded code.
+cmake -B build-tsan -S . -DUVOLT_SANITIZE=thread
+cmake --build build-tsan -j "$jobs" --target fleet_test resilience_test
+./build-tsan/tests/fleet_test
+./build-tsan/tests/resilience_test
+
+echo "== all suites passed =="

@@ -276,33 +276,51 @@ makeCheckpoint(const pmbus::Board &board, const SweepOptions &options,
     return checkpoint;
 }
 
+Expected<void>
+tryValidateCheckpoint(const SweepCheckpoint &checkpoint,
+                      const pmbus::Board &board,
+                      const SweepOptions &options, int from_mv,
+                      int down_to_mv)
+{
+    if (checkpoint.platform != board.spec().name)
+        return makeError(Errc::badCheckpoint,
+                         "checkpoint belongs to {}, board is {}",
+                         checkpoint.platform, board.spec().name);
+    if (checkpoint.pattern.label() != options.pattern.label() ||
+        checkpoint.pattern.kind != options.pattern.kind ||
+        checkpoint.pattern.word != options.pattern.word ||
+        checkpoint.pattern.seed != options.pattern.seed)
+        return makeError(Errc::badCheckpoint,
+                         "checkpoint pattern {} does not match campaign "
+                         "pattern {}",
+                         checkpoint.pattern.label(),
+                         options.pattern.label());
+    if (checkpoint.runsPerLevel != options.runsPerLevel ||
+        checkpoint.stepMv != options.stepMv ||
+        checkpoint.fromMv != from_mv || checkpoint.downToMv != down_to_mv)
+        return makeError(Errc::badCheckpoint,
+                         "checkpoint campaign shape ({} runs/level, {} mV "
+                         "steps, {}..{} mV) does not match requested ({} "
+                         "runs/level, {} mV steps, {}..{} mV)",
+                         checkpoint.runsPerLevel, checkpoint.stepMv,
+                         checkpoint.fromMv, checkpoint.downToMv,
+                         options.runsPerLevel, options.stepMv, from_mv,
+                         down_to_mv);
+    if (checkpoint.ambientC != board.ambientC())
+        return makeError(Errc::badCheckpoint,
+                         "checkpoint ambient {} degC does not match board "
+                         "ambient {} degC",
+                         checkpoint.ambientC, board.ambientC());
+    return {};
+}
+
 void
 validateCheckpoint(const SweepCheckpoint &checkpoint,
                    const pmbus::Board &board, const SweepOptions &options,
                    int from_mv, int down_to_mv)
 {
-    if (checkpoint.platform != board.spec().name)
-        fatal("checkpoint belongs to {}, board is {}",
-              checkpoint.platform, board.spec().name);
-    if (checkpoint.pattern.label() != options.pattern.label() ||
-        checkpoint.pattern.kind != options.pattern.kind ||
-        checkpoint.pattern.word != options.pattern.word ||
-        checkpoint.pattern.seed != options.pattern.seed)
-        fatal("checkpoint pattern {} does not match campaign pattern {}",
-              checkpoint.pattern.label(), options.pattern.label());
-    if (checkpoint.runsPerLevel != options.runsPerLevel ||
-        checkpoint.stepMv != options.stepMv ||
-        checkpoint.fromMv != from_mv || checkpoint.downToMv != down_to_mv)
-        fatal("checkpoint campaign shape ({} runs/level, {} mV steps, "
-              "{}..{} mV) does not match requested ({} runs/level, {} mV "
-              "steps, {}..{} mV)",
-              checkpoint.runsPerLevel, checkpoint.stepMv,
-              checkpoint.fromMv, checkpoint.downToMv, options.runsPerLevel,
-              options.stepMv, from_mv, down_to_mv);
-    if (checkpoint.ambientC != board.ambientC())
-        fatal("checkpoint ambient {} degC does not match board ambient "
-              "{} degC",
-              checkpoint.ambientC, board.ambientC());
+    tryValidateCheckpoint(checkpoint, board, options, from_mv, down_to_mv)
+        .orFatal();
 }
 
 } // namespace uvolt::harness

@@ -45,9 +45,15 @@ SweepCheckpoint makeCheckpoint(const pmbus::Board &board,
                                int down_to_mv);
 
 /**
- * fatal() unless @a checkpoint belongs to this board/pattern/campaign
- * shape (platform, pattern, runs per level, step, range).
+ * badCheckpoint unless @a checkpoint belongs to this board/pattern/
+ * campaign shape (platform, pattern, runs per level, step, range).
  */
+Expected<void> tryValidateCheckpoint(const SweepCheckpoint &checkpoint,
+                                     const pmbus::Board &board,
+                                     const SweepOptions &options,
+                                     int from_mv, int down_to_mv);
+
+/** Fatal-on-mismatch wrapper of tryValidateCheckpoint(). */
 void validateCheckpoint(const SweepCheckpoint &checkpoint,
                         const pmbus::Board &board,
                         const SweepOptions &options, int from_mv,

@@ -67,7 +67,7 @@ struct Watchdog
     ResilienceReport *report = nullptr;
 
     /** Reconfigure and restore campaign conditions after DONE-low. */
-    void
+    Expected<void>
     recover() const
     {
         if (report)
@@ -77,11 +77,13 @@ struct Watchdog
         const auto set = rail == fpga::RailId::VccBram
             ? board.trySetVccBramMv(levelMv)
             : board.trySetVccIntMv(levelMv);
-        set.orFatal();
+        if (!set.ok())
+            return set.error();
         if (!board.donePin())
             panic("{}: board crashed again right after recovery at {} mV "
                   "(level should be operable)",
                   board.spec().name, levelMv);
+        return {};
     }
 };
 
@@ -111,7 +113,8 @@ countDeviceFaultsRecoverable(const Watchdog &watchdog)
         }
         if (!crashed)
             return total;
-        watchdog.recover();
+        if (auto recovered = watchdog.recover(); !recovered.ok())
+            return recovered.error();
         board.resumeRun(jitter);
         if (watchdog.report)
             ++watchdog.report->runsRetried;
@@ -124,14 +127,17 @@ countDeviceFaultsRecoverable(const Watchdog &watchdog)
 }
 
 /** Whether the probed rail shows any fault at the present level. */
-bool
+Expected<bool>
 probeFaulty(pmbus::Board &board, fpga::RailId rail, int runs,
             const Watchdog &watchdog)
 {
     if (rail == fpga::RailId::VccBram) {
         for (int run = 0; run < runs; ++run) {
             board.startRun();
-            if (countDeviceFaultsRecoverable(watchdog).orFatal() > 0)
+            auto count = countDeviceFaultsRecoverable(watchdog);
+            if (!count.ok())
+                return count.error();
+            if (count.value() > 0)
                 return true;
         }
         return false;
@@ -162,8 +168,9 @@ struct ChannelBaseline
 
 } // namespace
 
-RegionResult
-discoverRegions(pmbus::Board &board, fpga::RailId rail, int runs_per_level)
+Expected<RegionResult>
+tryDiscoverRegions(pmbus::Board &board, fpga::RailId rail,
+                   int runs_per_level)
 {
     if (rail == fpga::RailId::VccAux)
         fatal("discoverRegions: VCCAUX is not underscaled in this study");
@@ -188,7 +195,8 @@ discoverRegions(pmbus::Board &board, fpga::RailId rail, int runs_per_level)
         const auto set = rail == fpga::RailId::VccBram
             ? board.trySetVccBramMv(mv)
             : board.trySetVccIntMv(mv);
-        set.orFatal();
+        if (!set.ok())
+            return set.error();
 
         if (!board.donePin()) {
             // CRASH region entered: the last operable level was one step
@@ -197,9 +205,13 @@ discoverRegions(pmbus::Board &board, fpga::RailId rail, int runs_per_level)
             break;
         }
         watchdog.levelMv = mv;
-        if (first_faulty_mv == 0 &&
-            probeFaulty(board, rail, runs_per_level, watchdog)) {
-            first_faulty_mv = mv;
+        if (first_faulty_mv == 0) {
+            auto faulty = probeFaulty(board, rail, runs_per_level,
+                                      watchdog);
+            if (!faulty.ok())
+                return faulty.error();
+            if (faulty.value())
+                first_faulty_mv = mv;
         }
     }
     if (result.vcrashMv == 0)
@@ -215,13 +227,29 @@ discoverRegions(pmbus::Board &board, fpga::RailId rail, int runs_per_level)
     return result;
 }
 
+RegionResult
+discoverRegions(pmbus::Board &board, fpga::RailId rail, int runs_per_level)
+{
+    return tryDiscoverRegions(board, rail, runs_per_level).orFatal();
+}
+
+std::string
+SweepResult::describe() const
+{
+    const std::string &name =
+        platform.empty() ? "<unset platform>" : platform;
+    if (dieId.empty())
+        return name;
+    return strFormat("{} (die {})", name, dieId);
+}
+
 const SweepPoint &
 SweepResult::atVcrash() const
 {
     if (points.empty())
         fatal("sweep of {} has no points (the campaign measured no "
               "operable level)",
-              platform.empty() ? "<unset platform>" : platform);
+              describe());
     return points.back();
 }
 
@@ -239,8 +267,7 @@ SweepResult::at(int vcc_bram_mv) const
         available += strFormat("{}", point.vccBramMv);
     }
     fatal("sweep has no point at {} mV; {} measured {} level(s): [{}] mV",
-          vcc_bram_mv, platform.empty() ? "<unset platform>" : platform,
-          points.size(), available);
+          vcc_bram_mv, describe(), points.size(), available);
 }
 
 namespace
@@ -263,7 +290,7 @@ finalizePointStats(SweepPoint &point, std::uint64_t total_bits)
  * serial link. A crash mid-pass restarts the whole pass (it is
  * jitter-free, hence idempotent).
  */
-void
+Expected<void>
 collectReferenceMaps(SweepPoint &point, const Watchdog &watchdog)
 {
     pmbus::Board &board = watchdog.board;
@@ -279,7 +306,7 @@ collectReferenceMaps(SweepPoint &point, const Watchdog &watchdog)
             auto observed = board.tryReadBramToHost(b);
             if (!observed.ok()) {
                 if (observed.code() != Errc::crashDetected)
-                    fatal("{}", observed.error().message);
+                    return observed.error();
                 crashed = true;
                 break;
             }
@@ -289,20 +316,22 @@ collectReferenceMaps(SweepPoint &point, const Watchdog &watchdog)
         }
         if (!crashed) {
             point.oneToZeroFraction = summary.oneToZeroFraction();
-            return;
+            return {};
         }
-        watchdog.recover();
+        if (auto recovered = watchdog.recover(); !recovered.ok())
+            return recovered.error();
     }
-    fatal("[{}] {}: reference readback at {} mV kept crashing through {} "
-          "recoveries",
-          errcName(Errc::recoveryExhausted), board.spec().name,
-          watchdog.levelMv, watchdog.policy.maxRecoveriesPerRun);
+    return makeError(Errc::recoveryExhausted,
+                     "{}: reference readback at {} mV kept crashing "
+                     "through {} recoveries",
+                     board.spec().name, watchdog.levelMv,
+                     watchdog.policy.maxRecoveriesPerRun);
 }
 
 } // namespace
 
-SweepResult
-runCriticalSweep(pmbus::Board &board, const SweepOptions &options)
+Expected<SweepResult>
+tryRunCriticalSweep(pmbus::Board &board, const SweepOptions &options)
 {
     const auto &spec = board.spec();
     const int from =
@@ -315,6 +344,7 @@ runCriticalSweep(pmbus::Board &board, const SweepOptions &options)
 
     SweepResult result;
     result.platform = spec.name;
+    result.dieId = spec.serialNumber;
     result.pattern = options.pattern;
     result.ambientC = board.ambientC();
     result.runsPerLevel = options.runsPerLevel;
@@ -331,7 +361,10 @@ runCriticalSweep(pmbus::Board &board, const SweepOptions &options)
     std::vector<double> partial_counts;
     SweepCheckpoint *checkpoint = options.checkpoint;
     if (checkpoint && checkpoint->valid) {
-        validateCheckpoint(*checkpoint, board, options, from, down_to);
+        if (auto valid = tryValidateCheckpoint(*checkpoint, board,
+                                               options, from, down_to);
+            !valid.ok())
+            return valid.error();
         result.points = checkpoint->completedPoints;
         start_mv = checkpoint->currentLevelMv;
         partial_counts = checkpoint->currentRunCounts;
@@ -355,7 +388,8 @@ runCriticalSweep(pmbus::Board &board, const SweepOptions &options)
             finished = false;
             break;
         }
-        board.trySetVccBramMv(mv).orFatal();
+        if (auto set = board.trySetVccBramMv(mv); !set.ok())
+            return set.error();
         if (!board.donePin())
             break; // stepped past Vcrash
         watchdog.levelMv = mv;
@@ -371,8 +405,10 @@ runCriticalSweep(pmbus::Board &board, const SweepOptions &options)
              run < options.runsPerLevel; ++run) {
             board.startRun();
             auto count = countDeviceFaultsRecoverable(watchdog);
+            if (!count.ok())
+                return count.error();
             point.runCounts.push_back(
-                static_cast<double>(std::move(count).orFatal()));
+                static_cast<double>(count.value()));
             if (checkpoint) {
                 checkpoint->currentRunCounts = point.runCounts;
                 checkpoint->runsStarted = board.runsStarted();
@@ -381,8 +417,11 @@ runCriticalSweep(pmbus::Board &board, const SweepOptions &options)
         finalizePointStats(point, total_bits);
         point.bramPowerW = board.measureBramPowerW();
 
-        if (options.collectPerBram)
-            collectReferenceMaps(point, watchdog);
+        if (options.collectPerBram) {
+            if (auto maps = collectReferenceMaps(point, watchdog);
+                !maps.ok())
+                return maps.error();
+        }
 
         result.points.push_back(std::move(point));
         ++levels_this_call;
@@ -404,6 +443,12 @@ runCriticalSweep(pmbus::Board &board, const SweepOptions &options)
     baseline.fold(board, result.resilience);
     board.softReset();
     return result;
+}
+
+SweepResult
+runCriticalSweep(pmbus::Board &board, const SweepOptions &options)
+{
+    return tryRunCriticalSweep(board, options).orFatal();
 }
 
 } // namespace uvolt::harness

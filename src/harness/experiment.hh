@@ -32,6 +32,7 @@
 
 #include "fpga/voltage_rail.hh"
 #include "pmbus/board.hh"
+#include "util/error.hh"
 #include "util/stats.hh"
 
 namespace uvolt::harness
@@ -114,7 +115,17 @@ struct ResilienceReport
  * faults are probed through the design's self-check path. Spurious
  * DONE-low events are recovered by reconfiguration and the probe is
  * retried under its original jitter.
+ *
+ * Recoverable-error variant: an environment the retry/recovery budget
+ * cannot absorb (exhausted link/PMBus/recovery attempts) comes back as
+ * an Error instead of terminating, so campaign engines can retry or
+ * reschedule the die.
  */
+Expected<RegionResult> tryDiscoverRegions(pmbus::Board &board,
+                                          fpga::RailId rail,
+                                          int runs_per_level = 5);
+
+/** Fatal-on-error convenience wrapper (the "advanced"/legacy path). */
 RegionResult discoverRegions(pmbus::Board &board, fpga::RailId rail,
                              int runs_per_level = 5);
 
@@ -171,6 +182,7 @@ struct SweepCheckpoint
 struct SweepResult
 {
     std::string platform;
+    std::string dieId; ///< board serial: tells identical platforms apart
     PatternSpec pattern;
     double ambientC = 50.0;
     int runsPerLevel = 100;
@@ -185,8 +197,15 @@ struct SweepResult
     /** The point at the lowest operable voltage. */
     const SweepPoint &atVcrash() const;
 
-    /** Point at a specific level; fatal() if the sweep skipped it. */
+    /**
+     * Point at a specific level; fatal() if the sweep skipped it. The
+     * diagnostic names the board *and die* (fleet campaigns hold many
+     * sweeps of identical platforms) plus the levels actually measured.
+     */
     const SweepPoint &at(int vcc_bram_mv) const;
+
+    /** "VC707 (die 1308-6520)", or just the platform when no die id. */
+    std::string describe() const;
 };
 
 /** Options for runCriticalSweep(). */
@@ -225,7 +244,17 @@ struct SweepOptions
  * Completes under injected harsh-environment faults with bit-identical
  * per-level statistics (retries, recovery, and checkpoint resume fully
  * mask every maskable fault class).
+ *
+ * Recoverable-error variant: exhausted retry/recovery budgets and
+ * mismatched checkpoints come back as Errors (recoveryExhausted,
+ * linkExhausted, pmbusExhausted, badCheckpoint) instead of terminating
+ * the process; the fleet engine retries such jobs from their last
+ * checkpoint.
  */
+Expected<SweepResult> tryRunCriticalSweep(pmbus::Board &board,
+                                          const SweepOptions &options = {});
+
+/** Fatal-on-error convenience wrapper (the "advanced"/legacy path). */
 SweepResult runCriticalSweep(pmbus::Board &board,
                              const SweepOptions &options = {});
 

@@ -1,0 +1,465 @@
+#include "harness/fleet.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+
+#include "fpga/floorplan.hh"
+#include "fpga/platform.hh"
+#include "harness/checkpoint.hh"
+#include "harness/fvm_io.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace uvolt::harness
+{
+
+namespace
+{
+
+/** Keep [A-Za-z0-9.-], map everything else to '_' (keys, filenames). */
+std::string
+sanitized(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        const bool keep = std::isalnum(static_cast<unsigned char>(c)) ||
+                          c == '-' || c == '.';
+        out.push_back(keep ? c : '_');
+    }
+    return out;
+}
+
+bool
+isReferencePattern(const PatternSpec &pattern)
+{
+    return pattern.kind == PatternSpec::Kind::Fixed &&
+           pattern.word == 0xFFFF;
+}
+
+} // namespace
+
+std::string
+FleetJob::label() const
+{
+    std::string text = strFormat("{}-p{}-t{}", sanitized(platform),
+                                 sanitized(pattern.label()), ambientC);
+    if (noise)
+        text += strFormat("-n{}", noise->seed);
+    return text;
+}
+
+FleetPlan
+FleetPlan::crossProduct(const std::vector<std::string> &platforms,
+                        const std::vector<PatternSpec> &patterns,
+                        const std::vector<double> &temperatures_c)
+{
+    FleetPlan plan;
+    plan.jobs.reserve(platforms.size() * patterns.size() *
+                      temperatures_c.size());
+    for (const auto &platform : platforms) {
+        for (const auto &pattern : patterns) {
+            for (double temp_c : temperatures_c) {
+                FleetJob job;
+                job.platform = platform;
+                job.pattern = pattern;
+                job.ambientC = temp_c;
+                plan.jobs.push_back(std::move(job));
+            }
+        }
+    }
+    return plan;
+}
+
+double
+FleetResult::dieToDieRatio() const
+{
+    if (dies.size() < 2)
+        return 0.0;
+    double best = dies.front().faultsPerMbitAtVcrash;
+    double worst = best;
+    for (const auto &die : dies) {
+        best = std::min(best, die.faultsPerMbitAtVcrash);
+        worst = std::max(worst, die.faultsPerMbitAtVcrash);
+    }
+    if (best <= 0.0)
+        return 0.0;
+    return worst / best;
+}
+
+const SweepResult &
+FleetResult::onlySweep() const
+{
+    if (jobs.size() != 1)
+        fatal("FleetResult::onlySweep() on a {}-job fleet", jobs.size());
+    return jobs.front().sweep;
+}
+
+const DieReport &
+FleetResult::die(const std::string &platform) const
+{
+    for (const auto &report : dies) {
+        if (report.platform == platform)
+            return report;
+    }
+    fatal("fleet has no die report for platform '{}'", platform);
+}
+
+double
+FvmCacheStats::hitRate() const
+{
+    const std::uint64_t served =
+        memoryHits + diskHits + singleFlightWaits;
+    const std::uint64_t total = served + misses;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(served) / static_cast<double>(total);
+}
+
+FvmCache::FvmCache(std::string directory)
+    : directory_(std::move(directory))
+{
+}
+
+std::string
+FvmCache::defaultDirectory()
+{
+    if (const char *dir = std::getenv("UVOLT_CACHE_DIR"))
+        return dir;
+    return "uvolt_model_cache";
+}
+
+std::string
+FvmCache::keyFor(const fpga::PlatformSpec &spec,
+                 const PatternSpec &pattern, int runs_per_level)
+{
+    return strFormat("{}-{}-p{}-r{}", sanitized(spec.name),
+                     sanitized(spec.serialNumber),
+                     sanitized(pattern.label()), runs_per_level);
+}
+
+Expected<std::shared_ptr<const Fvm>>
+FvmCache::obtain(const fpga::PlatformSpec &spec,
+                 const PatternSpec &pattern, int runs_per_level,
+                 const Characterize &characterize)
+{
+    const std::string key = keyFor(spec, pattern, runs_per_level);
+    const std::string path = strFormat("{}/{}.fvm", directory_, key);
+
+    std::shared_ptr<Entry> entry;
+    {
+        std::unique_lock lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            entry = it->second;
+            if (!entry->ready) {
+                ++stats_.singleFlightWaits;
+                ready_.wait(lock, [&] { return entry->ready; });
+            } else {
+                ++stats_.memoryHits;
+            }
+            if (entry->fvm)
+                return entry->fvm;
+            return *entry->failure;
+        }
+        entry = std::make_shared<Entry>();
+        entries_[key] = entry;
+    }
+
+    // We own this flight: probe the disk, characterize on a miss, and
+    // publish the outcome to every thread parked on the entry.
+    const fpga::Floorplan floorplan =
+        fpga::Floorplan::columnGrid(spec.bramCount, spec.columnHeight);
+
+    bool disk_hit = false;
+    bool corrupt = false;
+    Expected<Fvm> produced = tryLoadFvm(floorplan, path);
+    if (produced.ok()) {
+        disk_hit = true;
+    } else {
+        corrupt = produced.code() == Errc::corruptCache;
+        produced = characterize();
+        if (produced.ok()) {
+            if (auto saved =
+                    trySaveFvm(produced.value(), floorplan, path);
+                !saved.ok())
+                warn("FvmCache: {}", saved.error().message);
+        }
+    }
+
+    std::unique_lock lock(mutex_);
+    if (disk_hit)
+        ++stats_.diskHits;
+    else
+        ++stats_.misses;
+    if (corrupt)
+        ++stats_.corruptFiles;
+    if (produced.ok()) {
+        entry->fvm = std::make_shared<const Fvm>(produced.take());
+        entry->ready = true;
+        ready_.notify_all();
+        return entry->fvm;
+    }
+    // Waiters of this flight share the error; the entry is dropped so a
+    // later obtain() retries instead of caching the failure forever.
+    entry->failure = produced.error();
+    entry->ready = true;
+    entries_.erase(key);
+    ready_.notify_all();
+    return produced.error();
+}
+
+Expected<void>
+FvmCache::store(const fpga::PlatformSpec &spec, const PatternSpec &pattern,
+                int runs_per_level, const Fvm &fvm)
+{
+    const std::string key = keyFor(spec, pattern, runs_per_level);
+    const std::string path = strFormat("{}/{}.fvm", directory_, key);
+    const fpga::Floorplan floorplan =
+        fpga::Floorplan::columnGrid(spec.bramCount, spec.columnHeight);
+    if (auto saved = trySaveFvm(fvm, floorplan, path); !saved.ok())
+        return saved.error();
+
+    std::unique_lock lock(mutex_);
+    auto entry = std::make_shared<Entry>();
+    entry->ready = true;
+    entry->fvm = std::make_shared<const Fvm>(fvm);
+    entries_[key] = entry;
+    return {};
+}
+
+void
+FvmCache::evictMemory()
+{
+    std::unique_lock lock(mutex_);
+    // In-flight entries stay: their owners still publish through them.
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second->ready)
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+FvmCacheStats
+FvmCache::stats() const
+{
+    std::unique_lock lock(mutex_);
+    return stats_;
+}
+
+FleetEngine::FleetEngine(FleetOptions options)
+    : options_(std::move(options))
+{
+}
+
+Expected<FleetJobOutcome>
+FleetEngine::runJob(const FleetPlan &plan, const FleetJob &job) const
+{
+    const fpga::PlatformSpec &spec = fpga::findPlatform(job.platform);
+    auto model = pmbus::sharedChipModel(spec);
+
+    std::string ckpt_path;
+    if (!options_.checkpointDir.empty())
+        ckpt_path = strFormat("{}/{}.ckpt", options_.checkpointDir,
+                              job.label());
+
+    FleetJobOutcome outcome;
+    outcome.job = job;
+
+    const int max_attempts = std::max(1, options_.maxAttemptsPerJob);
+    Error last = makeError(Errc::recoveryExhausted,
+                           "fleet job {} never ran", job.label());
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        outcome.attempts = attempt;
+
+        pmbus::Board board(spec, model);
+        board.setAmbientC(job.ambientC);
+        if (job.noise) {
+            // Later attempts face a re-seeded environment: replaying the
+            // exact fault schedule that just exhausted the budgets would
+            // fail identically. Deterministic in the attempt number, so
+            // the fleet stays bit-reproducible.
+            pmbus::NoiseConfig noise = *job.noise;
+            noise.seed += static_cast<std::uint64_t>(attempt - 1) *
+                          1000003ull;
+            board.attachNoise(noise);
+        }
+
+        if (plan.discoverRegions) {
+            auto bram_regions =
+                tryDiscoverRegions(board, fpga::RailId::VccBram);
+            if (!bram_regions.ok()) {
+                last = bram_regions.error();
+                continue;
+            }
+            auto int_regions =
+                tryDiscoverRegions(board, fpga::RailId::VccInt);
+            if (!int_regions.ok()) {
+                last = int_regions.error();
+                continue;
+            }
+            outcome.bramRegions = bram_regions.take();
+            outcome.intRegions = int_regions.take();
+        }
+
+        SweepOptions sweep_options;
+        sweep_options.pattern = job.pattern;
+        sweep_options.runsPerLevel = plan.runsPerLevel;
+        sweep_options.stepMv = plan.stepMv;
+        sweep_options.collectPerBram = plan.collectPerBram;
+        sweep_options.recovery = plan.recovery;
+
+        SweepCheckpoint checkpoint;
+        if (!ckpt_path.empty()) {
+            sweep_options.checkpointPath = ckpt_path;
+            sweep_options.checkpoint = &checkpoint;
+            if (std::filesystem::exists(ckpt_path)) {
+                auto loaded = loadCheckpointFile(ckpt_path);
+                if (loaded.ok())
+                    checkpoint = loaded.take();
+                else
+                    warn("fleet: ignoring unusable checkpoint '{}': {}",
+                         ckpt_path, loaded.error().message);
+            }
+        }
+        const bool resuming = checkpoint.valid;
+
+        auto sweep = tryRunCriticalSweep(board, sweep_options);
+        if (!sweep.ok()) {
+            last = sweep.error();
+            continue;
+        }
+        outcome.sweep = sweep.take();
+        outcome.resumed = outcome.resumed || resuming;
+        if (!ckpt_path.empty()) {
+            std::error_code ec;
+            std::filesystem::remove(ckpt_path, ec);
+        }
+        return outcome;
+    }
+    return last;
+}
+
+Expected<FleetResult>
+FleetEngine::run(const FleetPlan &plan, ThreadPool &pool)
+{
+    FleetResult result;
+    if (plan.jobs.empty())
+        return result;
+
+    // Warm the per-die chip models serially so workers alias instead of
+    // racing on the synthesis lock, and create the checkpoint scratch
+    // space before anyone needs it.
+    for (const auto &job : plan.jobs)
+        (void)pmbus::sharedChipModel(fpga::findPlatform(job.platform));
+    if (!options_.checkpointDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.checkpointDir, ec);
+    }
+
+    // Every job writes its own pre-assigned slot; the pool's wait()
+    // publishes the writes. Completion order never shows in the result.
+    std::vector<std::optional<Expected<FleetJobOutcome>>> slots(
+        plan.jobs.size());
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+        pool.submit([this, &plan, &slots, i] {
+            slots[i].emplace(runJob(plan, plan.jobs[i]));
+        });
+    }
+    pool.wait();
+
+    // First failure in plan order wins, independent of finish order.
+    for (auto &slot : slots) {
+        if (!slot->ok())
+            return slot->error();
+    }
+
+    result.jobs.reserve(plan.jobs.size());
+    for (auto &slot : slots) {
+        FleetJobOutcome outcome = slot->take();
+        result.jobRetries +=
+            static_cast<std::uint64_t>(outcome.attempts - 1);
+        const ResilienceReport &r = outcome.sweep.resilience;
+        result.resilience.crashRecoveries += r.crashRecoveries;
+        result.resilience.runsRetried += r.runsRetried;
+        result.resilience.linkRetransmits += r.linkRetransmits;
+        result.resilience.pmbusRetries += r.pmbusRetries;
+        result.resilience.checkpointResumes += r.checkpointResumes;
+        result.jobs.push_back(std::move(outcome));
+    }
+
+    // Per-die aggregation in order of first appearance.
+    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+        const FleetJobOutcome &outcome = result.jobs[i];
+        DieReport *report = nullptr;
+        for (auto &existing : result.dies) {
+            if (existing.platform == outcome.job.platform)
+                report = &existing;
+        }
+        if (!report) {
+            DieReport fresh;
+            fresh.platform = outcome.job.platform;
+            fresh.dieId = outcome.sweep.dieId;
+            result.dies.push_back(std::move(fresh));
+            report = &result.dies.back();
+        }
+        report->jobIndices.push_back(i);
+    }
+    for (auto &report : result.dies) {
+        const fpga::PlatformSpec &spec =
+            fpga::findPlatform(report.platform);
+        const fpga::Floorplan floorplan = fpga::Floorplan::columnGrid(
+            spec.bramCount, spec.columnHeight);
+
+        // The die's headline rate comes from its reference-pattern job
+        // (the paper compares dies at 0xFFFF); first job as fallback.
+        std::size_t rate_job = report.jobIndices.front();
+        for (std::size_t idx : report.jobIndices) {
+            if (isReferencePattern(result.jobs[idx].job.pattern)) {
+                rate_job = idx;
+                break;
+            }
+        }
+        report.faultsPerMbitAtVcrash =
+            result.jobs[rate_job].sweep.atVcrash().faultsPerMbit;
+
+        if (!plan.collectPerBram)
+            continue;
+        std::vector<int> merged;
+        for (std::size_t idx : report.jobIndices) {
+            const Fvm fvm =
+                fvmFromSweep(result.jobs[idx].sweep, floorplan);
+            if (merged.empty()) {
+                merged = fvm.perBramFaults();
+                continue;
+            }
+            for (std::size_t b = 0; b < merged.size(); ++b)
+                merged[b] = std::max(merged[b], fvm.faultsOf(
+                                                    static_cast<
+                                                        std::uint32_t>(b)));
+        }
+        report.mergedFvm.emplace(spec.name, floorplan, std::move(merged));
+
+        if (options_.fvmCache) {
+            if (auto stored = options_.fvmCache->store(
+                    spec, result.jobs[rate_job].job.pattern,
+                    plan.runsPerLevel, *report.mergedFvm);
+                !stored.ok())
+                warn("fleet: {}", stored.error().message);
+        }
+    }
+
+    return result;
+}
+
+Expected<FleetResult>
+FleetEngine::run(const FleetPlan &plan)
+{
+    ThreadPool inline_pool(0);
+    return run(plan, inline_pool);
+}
+
+} // namespace uvolt::harness

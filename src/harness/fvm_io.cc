@@ -32,6 +32,31 @@ saveFvm(const Fvm &fvm, const fpga::Floorplan &floorplan,
     return static_cast<bool>(out);
 }
 
+Expected<void>
+trySaveFvm(const Fvm &fvm, const fpga::Floorplan &floorplan,
+           const std::string &path)
+{
+    if (!saveFvm(fvm, floorplan, path))
+        return makeError(Errc::corruptCache,
+                         "cannot write FVM cache file '{}'", path);
+    return {};
+}
+
+Expected<Fvm>
+tryLoadFvm(const fpga::Floorplan &floorplan, const std::string &path)
+{
+    if (!std::filesystem::exists(path))
+        return makeError(Errc::cacheMiss, "no FVM cache file at '{}'",
+                         path);
+    auto fvm = loadFvm(floorplan, path);
+    if (!fvm)
+        return makeError(Errc::corruptCache,
+                         "FVM cache file '{}' is malformed or belongs to "
+                         "a different chip/floorplan",
+                         path);
+    return *std::move(fvm);
+}
+
 std::optional<Fvm>
 loadFvm(const fpga::Floorplan &floorplan, const std::string &path)
 {

@@ -22,6 +22,7 @@
 
 #include "fpga/floorplan.hh"
 #include "harness/fvm.hh"
+#include "util/error.hh"
 
 namespace uvolt::harness
 {
@@ -29,6 +30,10 @@ namespace uvolt::harness
 /** Write an FVM to a file; returns false (with a warning) on failure. */
 bool saveFvm(const Fvm &fvm, const fpga::Floorplan &floorplan,
              const std::string &path);
+
+/** saveFvm() with the error taxonomy (corruptCache on I/O failure). */
+Expected<void> trySaveFvm(const Fvm &fvm, const fpga::Floorplan &floorplan,
+                          const std::string &path);
 
 /**
  * Load an FVM previously written by saveFvm().
@@ -38,6 +43,16 @@ bool saveFvm(const Fvm &fvm, const fpga::Floorplan &floorplan,
  */
 std::optional<Fvm> loadFvm(const fpga::Floorplan &floorplan,
                            const std::string &path);
+
+/**
+ * loadFvm() with the error taxonomy: cacheMiss when the file does not
+ * exist, corruptCache when it exists but is malformed or belongs to a
+ * different floorplan geometry. The FvmCache turns cacheMiss into a
+ * characterization run and corruptCache into a re-characterize +
+ * overwrite.
+ */
+Expected<Fvm> tryLoadFvm(const fpga::Floorplan &floorplan,
+                         const std::string &path);
 
 } // namespace uvolt::harness
 

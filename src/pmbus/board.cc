@@ -1,16 +1,55 @@
 #include "pmbus/board.hh"
 
+#include <map>
+#include <mutex>
+
 #include "power/power_model.hh"
+#include "util/format.hh"
 #include "util/logging.hh"
 
 namespace uvolt::pmbus
 {
 
+std::shared_ptr<const vmodel::ChipFaultModel>
+sharedChipModel(const fpga::PlatformSpec &spec,
+                const vmodel::VariationParams &params)
+{
+    // The model is a pure function of this key, so a single-flight map
+    // keyed by it is safe to share process-wide; holding the lock across
+    // construction means concurrent first requests for the same die
+    // synthesize the weak-cell map exactly once.
+    const std::string key = strFormat(
+        "{}|{}|{}|{}|{}|{}|{}|{}", spec.name, spec.serialNumber,
+        spec.bramCount, spec.columnHeight, params.sigmaLn,
+        params.spatialWeight, params.weakColumnShare,
+        params.meanWeakColumns);
+
+    static std::mutex mutex;
+    static std::map<std::string,
+                    std::shared_ptr<const vmodel::ChipFaultModel>> cache;
+    std::lock_guard lock(mutex);
+    auto &slot = cache[key];
+    if (!slot) {
+        slot = std::make_shared<const vmodel::ChipFaultModel>(
+            spec, fpga::Floorplan::columnGrid(spec.bramCount,
+                                              spec.columnHeight),
+            params);
+    }
+    return slot;
+}
+
 Board::Board(const fpga::PlatformSpec &spec,
              const vmodel::VariationParams &params)
-    : device_(spec),
-      faults_(std::make_unique<vmodel::ChipFaultModel>(
-          spec, device_.floorplan(), params)),
+    : Board(spec, std::make_shared<const vmodel::ChipFaultModel>(
+                      spec, fpga::Floorplan::columnGrid(
+                                spec.bramCount, spec.columnHeight),
+                      params))
+{
+}
+
+Board::Board(const fpga::PlatformSpec &spec,
+             std::shared_ptr<const vmodel::ChipFaultModel> model)
+    : device_(spec), faults_(std::move(model)),
       regulator_([this] { return effectiveAmbientC(); }),
       runRng_(combineSeeds(hashSeed(spec.serialNumber),
                            hashSeed("run-jitter")))

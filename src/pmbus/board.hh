@@ -44,6 +44,18 @@ struct PmbusStats
     std::uint64_t exhausted = 0;        ///< setpoint writes that gave up
 };
 
+/**
+ * The chip personality of @a spec, built once and shared. The weak-cell
+ * map is immutable after construction and deterministic in (serial
+ * number, geometry, params), so every Board of the same die can alias
+ * one instance; a process-wide single-flight cache makes repeat lookups
+ * (e.g. one Board per fleet worker) a map probe instead of a full
+ * weak-cell synthesis. Thread-safe.
+ */
+std::shared_ptr<const vmodel::ChipFaultModel>
+sharedChipModel(const fpga::PlatformSpec &spec,
+                const vmodel::VariationParams &params = {});
+
 /** One instrumented board under test. */
 class Board
 {
@@ -56,6 +68,15 @@ class Board
      */
     explicit Board(const fpga::PlatformSpec &spec,
                    const vmodel::VariationParams &params = {});
+
+    /**
+     * Power up a board around an already-built chip personality
+     * (sharedChipModel()). This is the cheap per-worker constructor of
+     * fleet campaigns: the expensive weak-cell synthesis is skipped and
+     * the immutable model is aliased, never copied.
+     */
+    Board(const fpga::PlatformSpec &spec,
+          std::shared_ptr<const vmodel::ChipFaultModel> model);
 
     const fpga::PlatformSpec &spec() const { return device_.spec(); }
     fpga::Device &device() { return device_; }
@@ -192,7 +213,7 @@ class Board
     bool crashFires() const;
 
     fpga::Device device_;
-    std::unique_ptr<vmodel::ChipFaultModel> faults_;
+    std::shared_ptr<const vmodel::ChipFaultModel> faults_;
     Ucd9248 regulator_;
     mutable SerialLink link_;
     std::unique_ptr<FaultInjector> injector_;

@@ -21,6 +21,10 @@ errcName(Errc code)
         return "recovery-exhausted";
       case Errc::badCheckpoint:
         return "bad-checkpoint";
+      case Errc::cacheMiss:
+        return "cache-miss";
+      case Errc::corruptCache:
+        return "corrupt-cache";
     }
     panic("errcName: invalid Errc {}", static_cast<int>(code));
 }

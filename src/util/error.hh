@@ -32,6 +32,9 @@ enum class Errc
     verifyExhausted,   ///< setpoint verify-after-write never converged
     recoveryExhausted, ///< watchdog gave up recovering a campaign
     badCheckpoint,     ///< checkpoint failed to parse or mismatches
+    cacheMiss,         ///< no cached artifact for the requested key
+    corruptCache,      ///< cache file present but unusable (malformed
+                       ///< or for a different chip/geometry)
 };
 
 /** Stable short name of an error code (for messages and logs). */

@@ -1,0 +1,76 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+namespace uvolt
+{
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    if (workers_.empty()) {
+        job(); // serial pool: the caller is the worker
+        return;
+    }
+    {
+        std::unique_lock lock(mutex_);
+        queue_.push_back(std::move(job));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+std::size_t
+ThreadPool::hardwareWorkers()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        auto job = std::move(queue_.front());
+        queue_.pop_front();
+        ++running_;
+        lock.unlock();
+        job();
+        lock.lock();
+        --running_;
+        if (queue_.empty() && running_ == 0)
+            idle_.notify_all();
+    }
+}
+
+} // namespace uvolt

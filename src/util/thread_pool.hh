@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A fixed-size worker pool for fleet campaigns.
+ *
+ * Deliberately minimal: one shared FIFO queue, a fixed number of
+ * workers, no work stealing, no futures. Fleet jobs are coarse (a whole
+ * characterization sweep each), so queue contention is negligible and a
+ * plain mutex + condition variable is both fast enough and trivially
+ * clean under ThreadSanitizer. Determinism is the caller's property:
+ * jobs must not share mutable state, and result ordering comes from
+ * writing into pre-assigned slots, never from completion order.
+ *
+ * A pool of zero workers runs every submitted job inline on the calling
+ * thread — the serial reference path uses exactly the same scheduling
+ * code as the parallel one.
+ */
+
+#ifndef UVOLT_UTIL_THREAD_POOL_HH
+#define UVOLT_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uvolt
+{
+
+/** Fixed-size FIFO worker pool (0 workers = run jobs inline). */
+class ThreadPool
+{
+  public:
+    /** Spawn @a workers threads; 0 makes submit() run jobs inline. */
+    explicit ThreadPool(std::size_t workers);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue one job. Jobs must not throw; anything recoverable should
+     * travel through the job's own result slot as an Expected<T>.
+     */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished running. */
+    void wait();
+
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /**
+     * Worker count matched to the host (hardware_concurrency, at least
+     * 1): the default for fleet campaigns.
+     */
+    static std::size_t hardwareWorkers();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_;  ///< signals workers: job or shutdown
+    std::condition_variable idle_;  ///< signals wait(): everything done
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t running_ = 0; ///< jobs currently executing on workers
+    bool stopping_ = false;
+};
+
+} // namespace uvolt
+
+#endif // UVOLT_UTIL_THREAD_POOL_HH
