@@ -15,17 +15,25 @@
  *      (target: >= 3x on >= 4 cores),
  *  (b) byte-identity of every per-job sweep against the serial run,
  *  (c) FvmCache traffic: a cold obtain() characterizes once per die,
- *      a warm one is served from memory/disk with the hit rate shown.
+ *      a warm one is served from memory/disk with the hit rate shown
+ *      (read back from the telemetry registry, the same counters every
+ *      consumer sees),
+ *  (d) the observability artifacts themselves: a Chrome trace of the
+ *      pooled fleet (results/ext_fleet_trace.json — drop it on
+ *      ui.perfetto.dev) and the merged metrics snapshot.
  */
 
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
 
 #include "harness/campaign.hh"
+#include "harness/report.hh"
 #include "util/format.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 using namespace uvolt;
 
@@ -65,6 +73,7 @@ sameFleet(const harness::FleetResult &a, const harness::FleetResult &b)
 int
 main()
 {
+    telemetry::Telemetry::setEnabled(true);
     const std::size_t workers = ThreadPool::hardwareWorkers();
     std::printf("# Extension: parallel fleet campaigns (4 dies x 3 "
                 "patterns, %zu workers)\n\n",
@@ -126,9 +135,23 @@ main()
 
     // --- (c) FvmCache traffic --------------------------------------------
     // The fleet published each die's merged FVM; a consumer obtaining a
-    // map now skips the characterization sweep entirely.
+    // map now skips the characterization sweep entirely. The traffic is
+    // read from the telemetry registry's fvmcache.* counters (deltas per
+    // phase), not the cache's own struct.
     std::printf("\nFvmCache (%s):\n", cache.directory().c_str());
+    auto cache_counters = [] {
+        const auto snapshot = telemetry::Registry::global().metrics();
+        return std::array<std::uint64_t, 4>{
+            snapshot.counter("fvmcache.memory_hits"),
+            snapshot.counter("fvmcache.disk_hits"),
+            snapshot.counter("fvmcache.single_flight_waits"),
+            snapshot.counter("fvmcache.misses")};
+    };
+    TextTable cache_table({"phase", "wall-clock (ms)", "memory hits",
+                           "disk hits", "waits", "characterized",
+                           "hit rate"});
     auto obtain_all = [&](const char *label) {
+        const auto before = cache_counters();
         const auto start = std::chrono::steady_clock::now();
         for (const auto &die : parallel.dies) {
             const auto &spec = fpga::findPlatform(die.platform);
@@ -147,21 +170,49 @@ main()
                         })
                 .orFatal();
         }
-        const auto stats = cache.stats();
-        std::printf("  %-22s %4.1f ms for %zu dies | %llu mem + %llu "
-                    "disk hits, %llu waits, %llu characterized | hit "
-                    "rate %.0f%%\n",
-                    label, msSince(start), parallel.dies.size(),
-                    static_cast<unsigned long long>(stats.memoryHits),
-                    static_cast<unsigned long long>(stats.diskHits),
-                    static_cast<unsigned long long>(
-                        stats.singleFlightWaits),
-                    static_cast<unsigned long long>(stats.misses),
-                    stats.hitRate() * 100.0);
+        const double ms = msSince(start);
+        const auto after = cache_counters();
+        const std::uint64_t mem = after[0] - before[0];
+        const std::uint64_t disk = after[1] - before[1];
+        const std::uint64_t waits = after[2] - before[2];
+        const std::uint64_t misses = after[3] - before[3];
+        const std::uint64_t served = mem + disk + waits;
+        const double rate = served + misses
+            ? static_cast<double>(served) /
+                  static_cast<double>(served + misses)
+            : 0.0;
+        cache_table.addRow({label, fmtDouble(ms, 1),
+                            std::to_string(mem), std::to_string(disk),
+                            std::to_string(waits),
+                            std::to_string(misses),
+                            strFormat("{:.0f}%", rate * 100.0)});
     };
-    obtain_all("warm (memory):");
+    obtain_all("warm (memory)");
     cache.evictMemory();
-    obtain_all("warm (disk only):");
+    obtain_all("warm (disk only)");
+    cache_table.print(std::cout);
+    writeCsv(cache_table, "results/ext_fleet_cache.csv");
+
+    // --- (d) observability artifacts -------------------------------------
+    harness::writeChromeTrace("results/ext_fleet_trace.json");
+    const auto snapshot = telemetry::Registry::global().metrics();
+    harness::writeMetricsJson(snapshot, "results/ext_fleet_metrics.json");
+    harness::writeMetricsCsv(snapshot, "results/ext_fleet_metrics.csv");
+    std::printf("\ntelemetry: %zu spans -> results/ext_fleet_trace.json "
+                "(open in ui.perfetto.dev); metrics snapshot -> "
+                "results/ext_fleet_metrics.{json,csv}\n",
+                telemetry::Registry::global().traceEvents().size());
+    std::printf("  pmbus: %llu setpoint writes (%llu retried), link "
+                "retransmits %llu; fleet: %llu jobs, cache hit rate "
+                "above\n",
+                static_cast<unsigned long long>(
+                    snapshot.counter("pmbus.setpoint.writes")),
+                static_cast<unsigned long long>(
+                    snapshot.counter("pmbus.setpoint.retries")),
+                static_cast<unsigned long long>(
+                    snapshot.counter("pmbus.link.retransmits")),
+                static_cast<unsigned long long>(
+                    snapshot.counter("fleet.jobs")));
 
     std::printf("\nshape: the pooled fleet must report >= 3x speedup on "
                 ">= 4 cores with\nbit-identical sweeps, and the warm "

@@ -5,9 +5,22 @@
  * k-means clustering, weight quantization, placement construction, and
  * fixed-point NN inference. Not a paper figure — this is engineering
  * telemetry for the simulator itself.
+ *
+ * After the google-benchmark suite, main() times the sweep inner loop
+ * (a device-wide fault-count pass at Vcrash) with telemetry recording
+ * off and on and writes results/ext_telemetry.csv. The "off" row is the
+ * instrumented build paying only the Telemetry::enabled() branch; run
+ * the same bench from a -DUVOLT_TELEMETRY=OFF build (the "compiled"
+ * column flips to "no") to compare against fully compiled-out code —
+ * the disabled overhead must stay under 2 %.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
 
 #include "accel/placement.hh"
 #include "accel/weight_image.hh"
@@ -17,8 +30,11 @@
 #include "nn/network.hh"
 #include "nn/quantizer.hh"
 #include "pmbus/board.hh"
+#include "util/format.hh"
 #include "util/kmeans.hh"
 #include "util/rng.hh"
+#include "util/table.hh"
+#include "util/telemetry.hh"
 
 namespace
 {
@@ -66,6 +82,45 @@ BM_DeviceFaultCount(benchmark::State &state)
     board.softReset();
 }
 BENCHMARK(BM_DeviceFaultCount);
+
+/** One sweep inner-loop pass: count faults across the whole device. */
+std::uint64_t
+deviceFaultPass(pmbus::Board &board)
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t b = 0; b < board.device().bramCount(); ++b)
+        total += static_cast<std::uint64_t>(board.countBramFaults(b));
+    return total;
+}
+
+void
+BM_SweepInnerLoopTelemetryOff(benchmark::State &state)
+{
+    auto &board = vc707();
+    board.device().fillAll(0xFFFF);
+    board.setVccBramMv(board.spec().calib.bramVcrashMv);
+    board.startReferenceRun();
+    telemetry::Telemetry::setEnabled(false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(deviceFaultPass(board));
+    board.softReset();
+}
+BENCHMARK(BM_SweepInnerLoopTelemetryOff);
+
+void
+BM_SweepInnerLoopTelemetryOn(benchmark::State &state)
+{
+    auto &board = vc707();
+    board.device().fillAll(0xFFFF);
+    board.setVccBramMv(board.spec().calib.bramVcrashMv);
+    board.startReferenceRun();
+    telemetry::Telemetry::setEnabled(true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(deviceFaultPass(board));
+    telemetry::Telemetry::setEnabled(false);
+    board.softReset();
+}
+BENCHMARK(BM_SweepInnerLoopTelemetryOn);
 
 void
 BM_KMeansClustering(benchmark::State &state)
@@ -135,6 +190,64 @@ BM_MnistGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_MnistGeneration);
 
+/**
+ * Best-of-N wall clock of the sweep inner loop with recording as
+ * given. Best-of (not mean) because the comparison wants the noise
+ * floor, not scheduler jitter.
+ */
+double
+bestPassMs(pmbus::Board &board, bool enabled, int passes)
+{
+    telemetry::Telemetry::setEnabled(enabled);
+    double best = 1e300;
+    for (int i = 0; i < passes; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(deviceFaultPass(board));
+        best = std::min(
+            best, std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+    }
+    telemetry::Telemetry::setEnabled(false);
+    return best;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // --- telemetry overhead on the sweep inner loop ----------------------
+    auto &board = vc707();
+    board.device().fillAll(0xFFFF);
+    board.setVccBramMv(board.spec().calib.bramVcrashMv);
+    board.startReferenceRun();
+
+    constexpr int passes = 40;
+    (void)bestPassMs(board, false, 5); // warm caches and the fault model
+    const double off_ms = bestPassMs(board, false, passes);
+    const double on_ms =
+        bestPassMs(board, telemetry::Telemetry::compiledIn(), passes);
+    board.softReset();
+
+    const char *compiled =
+        telemetry::Telemetry::compiledIn() ? "yes" : "no";
+    TextTable table({"telemetry", "compiled in", "best pass (ms)",
+                     "vs off"});
+    table.addRow({"off", compiled, fmtDouble(off_ms, 3), "1.000x"});
+    table.addRow({"on", compiled, fmtDouble(on_ms, 3),
+                  strFormat("{:.3f}x", on_ms / off_ms)});
+    std::printf("\n# sweep inner loop, telemetry off vs on (device-wide "
+                "fault count at Vcrash)\n");
+    table.print(std::cout);
+    writeCsv(table, "results/ext_telemetry.csv");
+    std::printf("rebuild with -DUVOLT_TELEMETRY=OFF to compare the "
+                "compiled-out baseline\n");
+    return 0;
+}

@@ -32,12 +32,25 @@ echo "== tier 1: sanitized build (ASan + UBSan) =="
 ASAN_OPTIONS=detect_leaks=0 run_suite build-asan -DUVOLT_SANITIZE=ON
 
 echo "== tier 1: thread-sanitized build (TSan) =="
-# Only the suites that actually spin threads: the fleet engine and the
-# resilience layer it schedules. A TSan run of everything would triple
-# CI time for single-threaded code.
+# Only the suites that actually spin threads: the fleet engine, the
+# resilience layer it schedules, and the telemetry shards every worker
+# writes. A TSan run of everything would triple CI time for
+# single-threaded code. UVOLT_TELEMETRY=ON turns recording on for the
+# whole fleet suite so the lock-free counter shards and per-thread span
+# buffers are exercised under every scheduling the pool produces.
 cmake -B build-tsan -S . -DUVOLT_SANITIZE=thread
-cmake --build build-tsan -j "$jobs" --target fleet_test resilience_test
-./build-tsan/tests/fleet_test
+cmake --build build-tsan -j "$jobs" \
+    --target fleet_test resilience_test telemetry_test
+UVOLT_TELEMETRY=ON ./build-tsan/tests/fleet_test
+UVOLT_TELEMETRY=ON ./build-tsan/tests/telemetry_test
 ./build-tsan/tests/resilience_test
+
+echo "== telemetry compiled out (-DUVOLT_TELEMETRY=OFF) =="
+# The instrumented call sites must compile and pass with the layer
+# reduced to stubs — the zero-cost configuration ships this way.
+cmake -B build-notel -S . -DUVOLT_TELEMETRY=OFF
+cmake --build build-notel -j "$jobs" --target telemetry_test fleet_test
+./build-notel/tests/telemetry_test
+./build-notel/tests/fleet_test
 
 echo "== all suites passed =="

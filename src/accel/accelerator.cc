@@ -1,11 +1,35 @@
 #include "accel/accelerator.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace uvolt::accel
 {
+
+namespace
+{
+
+struct AccelMetrics
+{
+    telemetry::Counter &inferences =
+        telemetry::Registry::global().counter("accel.inferences");
+    telemetry::Counter &weightFaults =
+        telemetry::Registry::global().counter("accel.weight_faults");
+    telemetry::Counter &crashRecoveries =
+        telemetry::Registry::global().counter("accel.crash_recoveries");
+};
+
+AccelMetrics &
+accelMetrics()
+{
+    static AccelMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 Accelerator::Accelerator(pmbus::Board &board, WeightImage image,
                          Placement placement)
@@ -55,6 +79,7 @@ Accelerator::readPhysicalRecoverable(std::uint32_t physical) const
         // retry under the original supply jitter so the recovered read
         // equals the undisturbed one.
         ++crashRecoveries_;
+        accelMetrics().crashRecoveries.increment();
         const int level_mv = board_.vccBramMv();
         const double jitter_v = board_.runJitterV();
         board_.softReset();
@@ -69,6 +94,11 @@ Accelerator::readPhysicalRecoverable(std::uint32_t physical) const
 nn::QuantizedModel
 Accelerator::observedModel() const
 {
+    UVOLT_TRACE_SCOPE("accel.observe_model", [&] {
+        return telemetry::TraceArgs{
+            {"brams", std::to_string(image_.logicalBramCount())},
+            {"mv", std::to_string(board_.vccBramMv())}};
+    });
     std::vector<std::vector<std::uint16_t>> observed;
     observed.reserve(image_.logicalBramCount());
     for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
@@ -109,6 +139,7 @@ Accelerator::weightFaults() const
             report.total += faults;
         }
     }
+    accelMetrics().weightFaults.add(report.total);
     return report;
 }
 
@@ -116,6 +147,13 @@ double
 Accelerator::classificationError(const data::Dataset &test_set,
                                  std::size_t limit) const
 {
+    UVOLT_TRACE_SCOPE("accel.classify", [&] {
+        return telemetry::TraceArgs{
+            {"mv", std::to_string(board_.vccBramMv())}};
+    });
+    const std::size_t n =
+        limit ? std::min(limit, test_set.size()) : test_set.size();
+    accelMetrics().inferences.add(n);
     return observedNetwork().evaluateError(test_set, limit);
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace uvolt::harness
 {
@@ -129,6 +130,10 @@ void
 saveCheckpointFile(const SweepCheckpoint &checkpoint,
                    const std::string &path)
 {
+    UVOLT_TRACE_SCOPE("checkpoint.save", [&] {
+        return telemetry::TraceArgs{{"path", path}};
+    });
+    telemetry::Registry::global().counter("checkpoint.saves").increment();
     const std::string temp = path + ".tmp";
     {
         std::ofstream out(temp);
@@ -253,6 +258,10 @@ loadCheckpoint(std::istream &in)
 Expected<SweepCheckpoint>
 loadCheckpointFile(const std::string &path)
 {
+    UVOLT_TRACE_SCOPE("checkpoint.load", [&] {
+        return telemetry::TraceArgs{{"path", path}};
+    });
+    telemetry::Registry::global().counter("checkpoint.loads").increment();
     std::ifstream in(path);
     if (!in)
         return makeError(Errc::badCheckpoint,

@@ -7,9 +7,41 @@
 #include "util/format.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/telemetry.hh"
 
 namespace uvolt::harness
 {
+
+namespace
+{
+
+struct SweepMetrics
+{
+    telemetry::Counter &sweeps =
+        telemetry::Registry::global().counter("sweep.campaigns");
+    telemetry::Counter &levels =
+        telemetry::Registry::global().counter("sweep.levels");
+    telemetry::Counter &runs =
+        telemetry::Registry::global().counter("sweep.runs");
+    telemetry::Counter &crashRecoveries =
+        telemetry::Registry::global().counter("sweep.crash_recoveries");
+    telemetry::Counter &runsRetried =
+        telemetry::Registry::global().counter("sweep.runs_retried");
+    telemetry::Counter &checkpointResumes =
+        telemetry::Registry::global().counter("sweep.checkpoint_resumes");
+    telemetry::Histogram &levelMs = telemetry::Registry::global().histogram(
+        "sweep.level_ms",
+        {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+};
+
+SweepMetrics &
+sweepMetrics()
+{
+    static SweepMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 std::string
 PatternSpec::label() const
@@ -72,6 +104,7 @@ struct Watchdog
     {
         if (report)
             ++report->crashRecoveries;
+        sweepMetrics().crashRecoveries.increment();
         board.softReset();
         fillPattern(board, pattern);
         const auto set = rail == fpga::RailId::VccBram
@@ -116,6 +149,7 @@ countDeviceFaultsRecoverable(const Watchdog &watchdog)
         if (auto recovered = watchdog.recover(); !recovered.ok())
             return recovered.error();
         board.resumeRun(jitter);
+        sweepMetrics().runsRetried.increment();
         if (watchdog.report)
             ++watchdog.report->runsRetried;
     }
@@ -334,6 +368,13 @@ Expected<SweepResult>
 tryRunCriticalSweep(pmbus::Board &board, const SweepOptions &options)
 {
     const auto &spec = board.spec();
+    UVOLT_TRACE_SCOPE("sweep", [&] {
+        return telemetry::TraceArgs{
+            {"platform", spec.name},
+            {"die", spec.serialNumber},
+            {"pattern", options.pattern.label()}};
+    });
+    sweepMetrics().sweeps.increment();
     const int from =
         options.fromMv > 0 ? options.fromMv : spec.calib.bramVminMv;
     const int down_to =
@@ -370,6 +411,7 @@ tryRunCriticalSweep(pmbus::Board &board, const SweepOptions &options)
         partial_counts = checkpoint->currentRunCounts;
         board.fastForwardRuns(checkpoint->runsStarted);
         ++result.resilience.checkpointResumes;
+        sweepMetrics().checkpointResumes.increment();
     } else if (checkpoint) {
         *checkpoint = makeCheckpoint(board, options, from, down_to);
         checkpoint->currentLevelMv = start_mv;
@@ -394,6 +436,11 @@ tryRunCriticalSweep(pmbus::Board &board, const SweepOptions &options)
             break; // stepped past Vcrash
         watchdog.levelMv = mv;
 
+        UVOLT_TRACE_SCOPE("sweep.level", [&] {
+            return telemetry::TraceArgs{{"mv", std::to_string(mv)}};
+        });
+        const std::uint64_t level_start_ns = telemetry::nowNs();
+
         SweepPoint point;
         point.vccBramMv = mv;
         point.runCounts = std::move(partial_counts);
@@ -404,6 +451,7 @@ tryRunCriticalSweep(pmbus::Board &board, const SweepOptions &options)
         for (int run = static_cast<int>(point.runCounts.size());
              run < options.runsPerLevel; ++run) {
             board.startRun();
+            sweepMetrics().runs.increment();
             auto count = countDeviceFaultsRecoverable(watchdog);
             if (!count.ok())
                 return count.error();
@@ -425,6 +473,12 @@ tryRunCriticalSweep(pmbus::Board &board, const SweepOptions &options)
 
         result.points.push_back(std::move(point));
         ++levels_this_call;
+        sweepMetrics().levels.increment();
+        if (telemetry::Telemetry::enabled()) {
+            sweepMetrics().levelMs.observe(
+                static_cast<double>(telemetry::nowNs() - level_start_ns) /
+                1e6);
+        }
 
         if (checkpoint) {
             checkpoint->completedPoints = result.points;

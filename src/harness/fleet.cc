@@ -11,12 +11,51 @@
 #include "harness/fvm_io.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace uvolt::harness
 {
 
 namespace
 {
+
+struct FleetMetrics
+{
+    telemetry::Counter &jobs =
+        telemetry::Registry::global().counter("fleet.jobs");
+    telemetry::Counter &jobRetries =
+        telemetry::Registry::global().counter("fleet.job_retries");
+    telemetry::Counter &resumes =
+        telemetry::Registry::global().counter("fleet.resumes");
+};
+
+FleetMetrics &
+fleetMetrics()
+{
+    static FleetMetrics metrics;
+    return metrics;
+}
+
+struct CacheMetrics
+{
+    telemetry::Counter &memoryHits =
+        telemetry::Registry::global().counter("fvmcache.memory_hits");
+    telemetry::Counter &diskHits =
+        telemetry::Registry::global().counter("fvmcache.disk_hits");
+    telemetry::Counter &misses =
+        telemetry::Registry::global().counter("fvmcache.misses");
+    telemetry::Counter &corruptFiles =
+        telemetry::Registry::global().counter("fvmcache.corrupt_files");
+    telemetry::Counter &singleFlightWaits = telemetry::Registry::global()
+        .counter("fvmcache.single_flight_waits");
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics metrics;
+    return metrics;
+}
 
 /** Keep [A-Za-z0-9.-], map everything else to '_' (keys, filenames). */
 std::string
@@ -156,9 +195,11 @@ FvmCache::obtain(const fpga::PlatformSpec &spec,
             entry = it->second;
             if (!entry->ready) {
                 ++stats_.singleFlightWaits;
+                cacheMetrics().singleFlightWaits.increment();
                 ready_.wait(lock, [&] { return entry->ready; });
             } else {
                 ++stats_.memoryHits;
+                cacheMetrics().memoryHits.increment();
             }
             if (entry->fvm)
                 return entry->fvm;
@@ -190,12 +231,17 @@ FvmCache::obtain(const fpga::PlatformSpec &spec,
     }
 
     std::unique_lock lock(mutex_);
-    if (disk_hit)
+    if (disk_hit) {
         ++stats_.diskHits;
-    else
+        cacheMetrics().diskHits.increment();
+    } else {
         ++stats_.misses;
-    if (corrupt)
+        cacheMetrics().misses.increment();
+    }
+    if (corrupt) {
         ++stats_.corruptFiles;
+        cacheMetrics().corruptFiles.increment();
+    }
     if (produced.ok()) {
         entry->fvm = std::make_shared<const Fvm>(produced.take());
         entry->ready = true;
@@ -258,6 +304,10 @@ FleetEngine::FleetEngine(FleetOptions options)
 Expected<FleetJobOutcome>
 FleetEngine::runJob(const FleetPlan &plan, const FleetJob &job) const
 {
+    UVOLT_TRACE_SCOPE("fleet.job", [&] {
+        return telemetry::TraceArgs{{"label", job.label()}};
+    });
+    fleetMetrics().jobs.increment();
     const fpga::PlatformSpec &spec = fpga::findPlatform(job.platform);
     auto model = pmbus::sharedChipModel(spec);
 
@@ -274,6 +324,13 @@ FleetEngine::runJob(const FleetPlan &plan, const FleetJob &job) const
                            "fleet job {} never ran", job.label());
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
         outcome.attempts = attempt;
+        UVOLT_TRACE_SCOPE("fleet.attempt", [&] {
+            return telemetry::TraceArgs{
+                {"label", job.label()},
+                {"attempt", std::to_string(attempt)}};
+        });
+        if (attempt > 1)
+            fleetMetrics().jobRetries.increment();
 
         pmbus::Board board(spec, model);
         board.setAmbientC(job.ambientC);
@@ -326,6 +383,8 @@ FleetEngine::runJob(const FleetPlan &plan, const FleetJob &job) const
             }
         }
         const bool resuming = checkpoint.valid;
+        if (resuming)
+            fleetMetrics().resumes.increment();
 
         auto sweep = tryRunCriticalSweep(board, sweep_options);
         if (!sweep.ok()) {
@@ -346,6 +405,10 @@ FleetEngine::runJob(const FleetPlan &plan, const FleetJob &job) const
 Expected<FleetResult>
 FleetEngine::run(const FleetPlan &plan, ThreadPool &pool)
 {
+    UVOLT_TRACE_SCOPE("fleet.run", [&] {
+        return telemetry::TraceArgs{
+            {"jobs", std::to_string(plan.jobs.size())}};
+    });
     FleetResult result;
     if (plan.jobs.empty())
         return result;
@@ -365,7 +428,16 @@ FleetEngine::run(const FleetPlan &plan, ThreadPool &pool)
     std::vector<std::optional<Expected<FleetJobOutcome>>> slots(
         plan.jobs.size());
     for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
-        pool.submit([this, &plan, &slots, i] {
+        // The queue-wait interval opens on the submitting thread and is
+        // recorded by the worker that eventually dequeues the job.
+        const std::uint64_t submit_ns = telemetry::nowNs();
+        pool.submit([this, &plan, &slots, i, submit_ns] {
+            if (telemetry::Telemetry::enabled()) {
+                telemetry::recordSpan(
+                    "fleet.queue_wait", submit_ns,
+                    telemetry::nowNs() - submit_ns,
+                    {{"job", plan.jobs[i].label()}});
+            }
             slots[i].emplace(runJob(plan, plan.jobs[i]));
         });
     }

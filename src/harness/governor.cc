@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace uvolt::harness
 {
@@ -13,6 +14,27 @@ namespace
 
 /** Clean steps at the hold level before re-probing lower (ITD chase). */
 constexpr int reprobeAfterCleanSteps = 8;
+
+struct GovernorMetrics
+{
+    telemetry::Counter &steps =
+        telemetry::Registry::global().counter("governor.steps");
+    telemetry::Counter &backoffs =
+        telemetry::Registry::global().counter("governor.backoffs");
+    telemetry::Counter &heldUncertain =
+        telemetry::Registry::global().counter("governor.held_uncertain");
+    telemetry::Counter &recoveries =
+        telemetry::Registry::global().counter("governor.recoveries");
+    telemetry::Gauge &setpointMv =
+        telemetry::Registry::global().gauge("governor.setpoint_mv");
+};
+
+GovernorMetrics &
+governorMetrics()
+{
+    static GovernorMetrics metrics;
+    return metrics;
+}
 
 } // namespace
 
@@ -80,6 +102,11 @@ VoltageGovernor::countCanaryFaults()
 GovernorStep
 VoltageGovernor::step()
 {
+    UVOLT_TRACE_SCOPE("governor.step", [&] {
+        return telemetry::TraceArgs{
+            {"setpoint_mv", std::to_string(setpointMv_)}};
+    });
+    governorMetrics().steps.increment();
     GovernorStep record;
     const std::uint64_t retransmits_before =
         board_.link().stats().retransmits;
@@ -100,15 +127,19 @@ VoltageGovernor::step()
             setpointMv_ = std::min(holdMv_, board_.spec().vnomMv);
             record.backedOff = true;
             record.health = GovernorHealth::recovered;
+            governorMetrics().backoffs.increment();
+            governorMetrics().recoveries.increment();
         } else {
             // Uncertain reading (the link gave up): a missing answer is
             // not a clean answer. Hold the present level; never descend
             // on uncertainty.
             cleanStreak_ = 0;
             record.health = GovernorHealth::heldUncertain;
+            governorMetrics().heldUncertain.increment();
         }
         board_.setVccBramMv(setpointMv_);
         record.commandedMv = setpointMv_;
+        governorMetrics().setpointMv.set(setpointMv_);
         return record;
     }
     record.canaryFaults = faults.value();
@@ -121,6 +152,7 @@ VoltageGovernor::step()
         cleanStreak_ = 0;
         setpointMv_ = std::min(holdMv_, board_.spec().vnomMv);
         record.backedOff = true;
+        governorMetrics().backoffs.increment();
     } else {
         ++cleanStreak_;
         int floor = std::max(floorMv_, holdMv_);
@@ -134,6 +166,7 @@ VoltageGovernor::step()
     }
     board_.setVccBramMv(setpointMv_);
     record.commandedMv = setpointMv_;
+    governorMetrics().setpointMv.set(setpointMv_);
     return record;
 }
 

@@ -1,0 +1,197 @@
+#include "harness/report.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace uvolt::harness
+{
+
+namespace
+{
+
+/** Escape a string for inclusion inside JSON double quotes. */
+std::string
+jsonEscaped(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strFormat("\\u{:04x}", static_cast<int>(c));
+            else
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** Microseconds with nanosecond precision (Chrome's timebase). */
+std::string
+microseconds(std::uint64_t ns)
+{
+    return strFormat("{}.{:03}", ns / 1000, ns % 1000);
+}
+
+bool
+writeDocument(const std::string &document, const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream out(path);
+    if (!out) {
+        warn("could not open '{}' for writing", path);
+        return false;
+    }
+    out << document;
+    return static_cast<bool>(out);
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<telemetry::TraceEvent> &events)
+{
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto &event : events) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n{\"name\":\"" << jsonEscaped(event.name)
+            << "\",\"cat\":\"uvolt\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+            << event.tid << ",\"ts\":" << microseconds(event.startNs)
+            << ",\"dur\":" << microseconds(event.durNs);
+        if (!event.args.empty()) {
+            out << ",\"args\":{";
+            bool first_arg = true;
+            for (const auto &[key, value] : event.args) {
+                if (!first_arg)
+                    out << ",";
+                first_arg = false;
+                out << "\"" << jsonEscaped(key) << "\":\""
+                    << jsonEscaped(value) << "\"";
+            }
+            out << "}";
+        }
+        out << "}";
+    }
+    out << "\n]}\n";
+    return out.str();
+}
+
+bool
+writeChromeTrace(const std::vector<telemetry::TraceEvent> &events,
+                 const std::string &path)
+{
+    return writeDocument(chromeTraceJson(events), path);
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    return writeChromeTrace(
+        telemetry::Registry::global().traceEvents(), path);
+}
+
+std::string
+metricsJson(const telemetry::MetricsSnapshot &snapshot)
+{
+    std::ostringstream out;
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : snapshot.counters) {
+        out << (first ? "" : ",") << "\n    \"" << jsonEscaped(name)
+            << "\": " << value;
+        first = false;
+    }
+    out << "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : snapshot.gauges) {
+        out << (first ? "" : ",") << "\n    \"" << jsonEscaped(name)
+            << "\": " << strFormat("{:.6f}", value);
+        first = false;
+    }
+    out << "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto &histogram : snapshot.histograms) {
+        out << (first ? "" : ",") << "\n    \""
+            << jsonEscaped(histogram.name) << "\": {\"count\": "
+            << histogram.count << ", \"sum\": "
+            << strFormat("{:.6f}", histogram.sum) << ", \"bounds\": [";
+        for (std::size_t i = 0; i < histogram.bounds.size(); ++i) {
+            out << (i ? "," : "")
+                << strFormat("{:.6f}", histogram.bounds[i]);
+        }
+        out << "], \"buckets\": [";
+        for (std::size_t i = 0; i < histogram.buckets.size(); ++i)
+            out << (i ? "," : "") << histogram.buckets[i];
+        out << "]}";
+        first = false;
+    }
+    out << "\n  }\n}\n";
+    return out.str();
+}
+
+bool
+writeMetricsJson(const telemetry::MetricsSnapshot &snapshot,
+                 const std::string &path)
+{
+    return writeDocument(metricsJson(snapshot), path);
+}
+
+TextTable
+metricsTable(const telemetry::MetricsSnapshot &snapshot)
+{
+    TextTable table({"metric", "type", "value", "detail"});
+    for (const auto &[name, value] : snapshot.counters)
+        table.addRow({name, "counter", std::to_string(value), ""});
+    for (const auto &[name, value] : snapshot.gauges)
+        table.addRow({name, "gauge", fmtDouble(value), ""});
+    for (const auto &histogram : snapshot.histograms) {
+        std::string buckets;
+        for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+            if (i)
+                buckets += " ";
+            buckets += std::to_string(histogram.buckets[i]);
+        }
+        table.addRow({histogram.name, "histogram",
+                      std::to_string(histogram.count),
+                      strFormat("mean={} sum={} buckets=[{}]",
+                                fmtDouble(histogram.mean()),
+                                fmtDouble(histogram.sum), buckets)});
+    }
+    return table;
+}
+
+bool
+writeMetricsCsv(const telemetry::MetricsSnapshot &snapshot,
+                const std::string &path)
+{
+    return writeCsv(metricsTable(snapshot), path);
+}
+
+} // namespace uvolt::harness

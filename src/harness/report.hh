@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Telemetry exporters: Chrome trace-event JSON and metrics snapshots.
+ *
+ * The trace exporter serializes the registry's spans as the Chrome
+ * trace-event format ("X" complete events, microsecond timebase), the
+ * file format Perfetto and chrome://tracing load directly — open
+ * ui.perfetto.dev and drop the file in. The metrics exporters render a
+ * snapshot as JSON (machines) and as the repo's TextTable/CSV style
+ * (humans and the results/ directory, like every bench figure).
+ *
+ * Everything here degrades gracefully in a compiled-out build
+ * (UVOLT_TELEMETRY=OFF): snapshots are empty, the writers emit empty
+ * but well-formed documents.
+ */
+
+#ifndef UVOLT_HARNESS_REPORT_HH
+#define UVOLT_HARNESS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "util/table.hh"
+#include "util/telemetry.hh"
+
+namespace uvolt::harness
+{
+
+/** Serialize spans as a Chrome trace-event JSON document. */
+std::string chromeTraceJson(const std::vector<telemetry::TraceEvent> &events);
+
+/**
+ * Write @a events to @a path (parent directories created), Chrome
+ * trace-event JSON. Returns false with a warning on I/O failure, like
+ * writeCsv(), so benches keep running in read-only environments.
+ */
+bool writeChromeTrace(const std::vector<telemetry::TraceEvent> &events,
+                      const std::string &path);
+
+/** Export the global registry's spans to @a path. */
+bool writeChromeTrace(const std::string &path);
+
+/** Serialize a metrics snapshot as a JSON document. */
+std::string metricsJson(const telemetry::MetricsSnapshot &snapshot);
+
+/** Write a snapshot to @a path as JSON (parent directories created). */
+bool writeMetricsJson(const telemetry::MetricsSnapshot &snapshot,
+                      const std::string &path);
+
+/**
+ * Render a snapshot as the repo's table style: one row per metric with
+ * columns {metric, type, value, detail}; histograms report their count
+ * as the value and mean/sum/buckets in the detail column.
+ */
+TextTable metricsTable(const telemetry::MetricsSnapshot &snapshot);
+
+/** Write metricsTable() to @a path as CSV. */
+bool writeMetricsCsv(const telemetry::MetricsSnapshot &snapshot,
+                     const std::string &path);
+
+} // namespace uvolt::harness
+
+#endif // UVOLT_HARNESS_REPORT_HH

@@ -6,9 +6,38 @@
 #include "power/power_model.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace uvolt::pmbus
 {
+
+namespace
+{
+
+struct BoardMetrics
+{
+    telemetry::Counter &setpointWrites =
+        telemetry::Registry::global().counter("pmbus.setpoint.writes");
+    telemetry::Counter &setpointRetries =
+        telemetry::Registry::global().counter("pmbus.setpoint.retries");
+    telemetry::Counter &verifyMismatches = telemetry::Registry::global()
+        .counter("pmbus.setpoint.verify_mismatches");
+    telemetry::Counter &setpointExhausted =
+        telemetry::Registry::global().counter("pmbus.setpoint.exhausted");
+    telemetry::Counter &bramProbes =
+        telemetry::Registry::global().counter("board.bram_probes");
+    telemetry::Counter &crashesDetected =
+        telemetry::Registry::global().counter("board.crashes_detected");
+};
+
+BoardMetrics &
+boardMetrics()
+{
+    static BoardMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 std::shared_ptr<const vmodel::ChipFaultModel>
 sharedChipModel(const fpga::PlatformSpec &spec,
@@ -81,11 +110,19 @@ Board::setMaxPmbusAttempts(int attempts)
 Expected<void>
 Board::writeVerifiedSetpoint(int page, int mv)
 {
+    UVOLT_TRACE_SCOPE("pmbus.setpoint", [&] {
+        return telemetry::TraceArgs{
+            {"page", std::to_string(page)},
+            {"mv", std::to_string(mv)}};
+    });
+    boardMetrics().setpointWrites.increment();
     const int expected_mv = quantizeSetpointMv(mv);
     const std::uint16_t code = encodeLinear16(mv / 1000.0);
     for (int attempt = 0; attempt < maxPmbusAttempts_; ++attempt) {
-        if (attempt > 0)
+        if (attempt > 0) {
             ++pmbusStats_.retries;
+            boardMetrics().setpointRetries.increment();
+        }
         ++pmbusStats_.transactions;
         if (!regulator_.tryWriteByte(Command::Page,
                                      static_cast<std::uint8_t>(page)))
@@ -104,8 +141,10 @@ Board::writeVerifiedSetpoint(int page, int mv)
         if (latched_mv == expected_mv)
             return {};
         ++pmbusStats_.verifyMismatches;
+        boardMetrics().verifyMismatches.increment();
     }
     ++pmbusStats_.exhausted;
+    boardMetrics().setpointExhausted.increment();
     return makeError(Errc::pmbusExhausted,
                      "{}: page {} setpoint {} mV not acknowledged and "
                      "verified within {} attempts",
@@ -235,7 +274,9 @@ Board::effectiveVoltage() const
 Expected<std::vector<std::uint16_t>>
 Board::tryReadBramToHost(std::uint32_t bram) const
 {
+    boardMetrics().bramProbes.increment();
     if (!donePin() || crashFires()) {
+        boardMetrics().crashesDetected.increment();
         return makeError(Errc::crashDetected,
                          "{}: readback of BRAM {} with DONE pin low "
                          "(configuration lost at {} mV)",
@@ -266,7 +307,9 @@ Board::readBramToHost(std::uint32_t bram) const
 Expected<int>
 Board::tryCountBramFaults(std::uint32_t bram) const
 {
+    boardMetrics().bramProbes.increment();
     if (!donePin() || crashFires()) {
+        boardMetrics().crashesDetected.increment();
         return makeError(Errc::crashDetected,
                          "{}: fault count of BRAM {} with DONE pin low "
                          "(configuration lost at {} mV)",

@@ -3,9 +3,34 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace uvolt::pmbus
 {
+
+namespace
+{
+
+struct NoiseMetrics
+{
+    telemetry::Counter &framesCorrupted =
+        telemetry::Registry::global().counter("noise.frames_corrupted");
+    telemetry::Counter &nacks =
+        telemetry::Registry::global().counter("noise.nacks");
+    telemetry::Counter &setpointJitters =
+        telemetry::Registry::global().counter("noise.setpoint_jitters");
+    telemetry::Counter &spuriousCrashes =
+        telemetry::Registry::global().counter("noise.spurious_crashes");
+};
+
+NoiseMetrics &
+noiseMetrics()
+{
+    static NoiseMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 bool
 NoiseConfig::any() const
@@ -49,6 +74,7 @@ FaultInjector::corruptThisFrame()
         !rng_.chance(config_.frameCorruptProb))
         return false;
     ++stats_.framesCorrupted;
+    noiseMetrics().framesCorrupted.increment();
     return true;
 }
 
@@ -58,6 +84,7 @@ FaultInjector::nackThisTransaction()
     if (config_.pmbusNackProb <= 0.0 || !rng_.chance(config_.pmbusNackProb))
         return false;
     ++stats_.nacks;
+    noiseMetrics().nacks.increment();
     return true;
 }
 
@@ -68,7 +95,15 @@ FaultInjector::perturbSetpoint(int mv, int step_mv)
         !rng_.chance(config_.setpointJitterProb))
         return mv;
     ++stats_.setpointJitters;
+    noiseMetrics().setpointJitters.increment();
     return rng_.chance(0.5) ? mv + step_mv : mv - step_mv;
+}
+
+void
+FaultInjector::recordSpuriousCrash()
+{
+    ++stats_.spuriousCrashes;
+    noiseMetrics().spuriousCrashes.increment();
 }
 
 int

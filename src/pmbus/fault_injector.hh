@@ -90,7 +90,7 @@ class FaultInjector
     int armCrash(int level_mv, int vcrash_mv, std::uint32_t op_count);
 
     /** Count a fired spurious crash (called by the board). */
-    void recordSpuriousCrash() { ++stats_.spuriousCrashes; }
+    void recordSpuriousCrash();
 
     /** Advance the ambient temperature random walk; returns drift degC. */
     double nextTempDriftC();

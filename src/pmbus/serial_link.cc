@@ -4,9 +4,37 @@
 
 #include "pmbus/fault_injector.hh"
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace uvolt::pmbus
 {
+
+namespace
+{
+
+/** Registry handles, resolved once (registration takes a lock). */
+struct LinkMetrics
+{
+    telemetry::Counter &frames =
+        telemetry::Registry::global().counter("pmbus.link.frames");
+    telemetry::Counter &bytes =
+        telemetry::Registry::global().counter("pmbus.link.bytes");
+    telemetry::Counter &crcErrors =
+        telemetry::Registry::global().counter("pmbus.link.crc_errors");
+    telemetry::Counter &retransmits =
+        telemetry::Registry::global().counter("pmbus.link.retransmits");
+    telemetry::Counter &exhausted =
+        telemetry::Registry::global().counter("pmbus.link.exhausted");
+};
+
+LinkMetrics &
+linkMetrics()
+{
+    static LinkMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 std::uint16_t
 crc16(const std::vector<std::uint8_t> &bytes)
@@ -37,6 +65,8 @@ SerialLink::transfer(const std::vector<std::uint8_t> &payload)
     }
     ++stats_.framesSent;
     stats_.bytesSent += payload.size();
+    linkMetrics().frames.increment();
+    linkMetrics().bytes.add(payload.size());
     return frame;
 }
 
@@ -46,6 +76,7 @@ SerialLink::transferReliable(const std::vector<std::uint8_t> &payload)
     for (int attempt = 0; attempt < maxAttempts_; ++attempt) {
         if (attempt > 0) {
             ++stats_.retransmits;
+            linkMetrics().retransmits.increment();
             // Exponential backoff in virtual line-time units.
             stats_.backoffTicks += 1ULL << std::min(attempt, 16);
         }
@@ -53,8 +84,10 @@ SerialLink::transferReliable(const std::vector<std::uint8_t> &payload)
         if (frame.verified())
             return frame;
         ++stats_.crcErrors;
+        linkMetrics().crcErrors.increment();
     }
     ++stats_.exhausted;
+    linkMetrics().exhausted.increment();
     return makeError(Errc::linkExhausted,
                      "serial transfer of {} bytes failed CRC on all {} "
                      "attempts",

@@ -5,9 +5,32 @@
 
 #include "pmbus/fault_injector.hh"
 #include "util/logging.hh"
+#include "util/telemetry.hh"
 
 namespace uvolt::pmbus
 {
+
+namespace
+{
+
+struct TxnMetrics
+{
+    telemetry::Counter &attempts =
+        telemetry::Registry::global().counter("pmbus.txn.attempts");
+    telemetry::Counter &nacks =
+        telemetry::Registry::global().counter("pmbus.txn.nacks");
+    telemetry::Counter &mislatches =
+        telemetry::Registry::global().counter("pmbus.txn.mislatches");
+};
+
+TxnMetrics &
+txnMetrics()
+{
+    static TxnMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 int
 quantizeSetpointMv(int mv)
@@ -102,8 +125,11 @@ Ucd9248::writeWord(Command command, std::uint16_t value)
 bool
 Ucd9248::tryWriteByte(Command command, std::uint8_t value)
 {
-    if (injector_ && injector_->nackThisTransaction())
+    txnMetrics().attempts.increment();
+    if (injector_ && injector_->nackThisTransaction()) {
+        txnMetrics().nacks.increment();
         return false;
+    }
     writeByte(command, value);
     return true;
 }
@@ -111,8 +137,11 @@ Ucd9248::tryWriteByte(Command command, std::uint8_t value)
 bool
 Ucd9248::tryWriteWord(Command command, std::uint16_t value)
 {
-    if (injector_ && injector_->nackThisTransaction())
+    txnMetrics().attempts.increment();
+    if (injector_ && injector_->nackThisTransaction()) {
+        txnMetrics().nacks.increment();
         return false;
+    }
     if (command == Command::VoutCommand && injector_) {
         // The harsh environment can make the DAC latch one step off the
         // commanded code; verify-after-write is the caller's defence.
@@ -121,6 +150,7 @@ Ucd9248::tryWriteWord(Command command, std::uint16_t value)
         const int latched_mv =
             injector_->perturbSetpoint(commanded_mv, voutStepMv);
         if (latched_mv != commanded_mv) {
+            txnMetrics().mislatches.increment();
             writeWord(command,
                       encodeLinear16(std::max(latched_mv, 0) / 1000.0));
             return true;
@@ -133,8 +163,11 @@ Ucd9248::tryWriteWord(Command command, std::uint16_t value)
 bool
 Ucd9248::tryReadWord(Command command, std::uint16_t &value_out) const
 {
-    if (injector_ && injector_->nackThisTransaction())
+    txnMetrics().attempts.increment();
+    if (injector_ && injector_->nackThisTransaction()) {
+        txnMetrics().nacks.increment();
         return false;
+    }
     value_out = readWord(command);
     return true;
 }

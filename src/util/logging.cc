@@ -1,8 +1,10 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 
 namespace uvolt
 {
@@ -10,7 +12,26 @@ namespace uvolt
 namespace
 {
 
-bool quiet = false;
+std::atomic<bool> quiet{false};
+
+// One process-wide lock so concurrent fleet workers' messages interleave
+// whole lines, never characters. fprintf to the same FILE* is not atomic
+// across platforms, and ThreadSanitizer flags the unsynchronized quiet
+// flag otherwise.
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+void
+emitLine(const char *prefix, std::string_view message)
+{
+    std::lock_guard lock(logMutex());
+    std::fprintf(stderr, "%s: %.*s\n", prefix,
+                 static_cast<int>(message.size()), message.data());
+}
 
 } // namespace
 
@@ -20,33 +41,29 @@ namespace detail
 void
 panicImpl(std::string_view message)
 {
-    std::fprintf(stderr, "panic: %.*s\n",
-                 static_cast<int>(message.size()), message.data());
+    emitLine("panic", message);
     std::abort();
 }
 
 void
 fatalImpl(std::string_view message)
 {
-    std::fprintf(stderr, "fatal: %.*s\n",
-                 static_cast<int>(message.size()), message.data());
+    emitLine("fatal", message);
     std::exit(1);
 }
 
 void
 warnImpl(std::string_view message)
 {
-    std::fprintf(stderr, "warn: %.*s\n",
-                 static_cast<int>(message.size()), message.data());
+    emitLine("warn", message);
 }
 
 void
 informImpl(std::string_view message)
 {
-    if (quiet)
+    if (quiet.load(std::memory_order_relaxed))
         return;
-    std::fprintf(stderr, "info: %.*s\n",
-                 static_cast<int>(message.size()), message.data());
+    emitLine("info", message);
 }
 
 } // namespace detail
@@ -54,7 +71,7 @@ informImpl(std::string_view message)
 void
 setQuiet(bool value)
 {
-    quiet = value;
+    quiet.store(value, std::memory_order_relaxed);
 }
 
 } // namespace uvolt

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the telemetry layer: lock-free shard aggregation under a
+ * ThreadPool, trace-span well-formedness, the Chrome trace-event JSON
+ * exporter (golden file + a structural check of a real fleet trace),
+ * and the central contract that enabling telemetry never changes a
+ * sweep's results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.hh"
+#include "harness/report.hh"
+#include "util/telemetry.hh"
+#include "util/thread_pool.hh"
+
+namespace uvolt::telemetry
+{
+namespace
+{
+
+/** Enable telemetry for one test; restore and wipe values on exit. */
+class TelemetryOn
+{
+  public:
+    TelemetryOn()
+    {
+        was_ = Telemetry::enabled();
+        Registry::global().resetForTest();
+        Telemetry::setEnabled(true);
+    }
+
+    ~TelemetryOn()
+    {
+        Telemetry::setEnabled(was_);
+        Registry::global().resetForTest();
+    }
+
+  private:
+    bool was_;
+};
+
+/**
+ * Per-tid well-formedness: treating each span as [start, start + dur),
+ * any two spans on one thread either nest or are disjoint — never
+ * partially overlap. LIFO scope closing guarantees this; the check
+ * catches both recording bugs and exporter reordering bugs.
+ */
+void
+expectWellNested(const std::vector<TraceEvent> &events)
+{
+    // traceEvents() sorts by start time (longer span first on ties), so
+    // a stack sweep per tid suffices.
+    std::vector<std::vector<const TraceEvent *>> stacks;
+    for (const auto &event : events) {
+        if (event.tid >= stacks.size())
+            stacks.resize(event.tid + 1);
+        auto &stack = stacks[event.tid];
+        while (!stack.empty() &&
+               event.startNs >=
+                   stack.back()->startNs + stack.back()->durNs)
+            stack.pop_back();
+        if (!stack.empty()) {
+            // The open ancestor must fully contain this span.
+            EXPECT_LE(stack.back()->startNs, event.startNs)
+                << event.name;
+            EXPECT_GE(stack.back()->startNs + stack.back()->durNs,
+                      event.startNs + event.durNs)
+                << event.name << " partially overlaps "
+                << stack.back()->name;
+        }
+        stack.push_back(&event);
+    }
+}
+
+TEST(TelemetryTest, DisabledByDefaultAndCostFree)
+{
+    if (!Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    Registry::global().resetForTest();
+    Telemetry::setEnabled(false);
+
+    auto &counter = Registry::global().counter("test.disabled.counter");
+    auto &histogram =
+        Registry::global().histogram("test.disabled.histogram", {1.0});
+    counter.add(41);
+    histogram.observe(0.5);
+    {
+        UVOLT_TRACE_SCOPE("test.disabled.span");
+    }
+
+    const auto snapshot = Registry::global().metrics();
+    EXPECT_EQ(snapshot.counter("test.disabled.counter"), 0u);
+    ASSERT_NE(snapshot.histogram("test.disabled.histogram"), nullptr);
+    EXPECT_EQ(snapshot.histogram("test.disabled.histogram")->count, 0u);
+    EXPECT_TRUE(Registry::global().traceEvents().empty());
+}
+
+TEST(TelemetryTest, CounterAggregationAcrossWorkers)
+{
+    if (!Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    TelemetryOn guard;
+
+    constexpr int jobs = 64;
+    constexpr int addsPerJob = 1000;
+    auto &counter = Registry::global().counter("test.agg.counter");
+
+    ThreadPool pool(8);
+    for (int j = 0; j < jobs; ++j) {
+        pool.submit([&counter] {
+            for (int i = 0; i < addsPerJob; ++i)
+                counter.increment();
+        });
+    }
+    pool.wait();
+
+    // Every relaxed shard write must survive the merge exactly once.
+    EXPECT_EQ(Registry::global().metrics().counter("test.agg.counter"),
+              static_cast<std::uint64_t>(jobs) * addsPerJob);
+}
+
+TEST(TelemetryTest, HistogramAggregationAcrossWorkers)
+{
+    if (!Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    TelemetryOn guard;
+
+    auto &histogram = Registry::global().histogram(
+        "test.agg.histogram", {1.0, 10.0, 100.0});
+
+    constexpr int jobs = 32;
+    ThreadPool pool(8);
+    for (int j = 0; j < jobs; ++j) {
+        pool.submit([&histogram] {
+            histogram.observe(0.5);   // bucket 0
+            histogram.observe(5.0);   // bucket 1
+            histogram.observe(50.0);  // bucket 2
+            histogram.observe(500.0); // overflow
+        });
+    }
+    pool.wait();
+
+    const auto snapshot = Registry::global().metrics();
+    const auto *merged = snapshot.histogram("test.agg.histogram");
+    ASSERT_NE(merged, nullptr);
+    EXPECT_EQ(merged->count, 4u * jobs);
+    ASSERT_EQ(merged->buckets.size(), 4u);
+    for (std::size_t b = 0; b < 4; ++b)
+        EXPECT_EQ(merged->buckets[b], static_cast<std::uint64_t>(jobs));
+    EXPECT_DOUBLE_EQ(merged->sum, jobs * (0.5 + 5.0 + 50.0 + 500.0));
+    EXPECT_DOUBLE_EQ(merged->mean(), 555.5 / 4.0);
+}
+
+TEST(TelemetryTest, SpansAreWellNestedAcrossWorkers)
+{
+    if (!Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    TelemetryOn guard;
+
+    ThreadPool pool(8);
+    for (int j = 0; j < 24; ++j) {
+        pool.submit([j] {
+            UVOLT_TRACE_SCOPE("outer", [&] {
+                return TraceArgs{{"job", std::to_string(j)}};
+            });
+            for (int i = 0; i < 3; ++i) {
+                UVOLT_TRACE_SCOPE("middle");
+                UVOLT_TRACE_SCOPE("inner");
+            }
+        });
+    }
+    pool.wait();
+
+    const auto events = Registry::global().traceEvents();
+    // 24 outer + 24 * 3 middle + 24 * 3 inner.
+    EXPECT_EQ(events.size(), 24u * 7);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_LE(events[i - 1].startNs, events[i].startNs);
+    expectWellNested(events);
+}
+
+TEST(TelemetryTest, ChromeTraceJsonGoldenFile)
+{
+    if (!Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+
+    // Synthetic events with fixed timestamps: the serialized document is
+    // byte-stable, so compare against the exact expected text.
+    std::vector<TraceEvent> events;
+    TraceEvent outer;
+    outer.name = "fleet.job";
+    outer.startNs = 1500;
+    outer.durNs = 2500500;
+    outer.tid = 1;
+    outer.args = {{"label", "VC707-p16_hFFFF-t50"}, {"attempt", "1"}};
+    events.push_back(outer);
+    TraceEvent inner;
+    inner.name = "weird \"name\"\n";
+    inner.startNs = 2000;
+    inner.durNs = 1000;
+    inner.tid = 1;
+    events.push_back(inner);
+
+    const std::string expected =
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+        "{\"name\":\"fleet.job\",\"cat\":\"uvolt\",\"ph\":\"X\","
+        "\"pid\":1,\"tid\":1,\"ts\":1.500,\"dur\":2500.500,"
+        "\"args\":{\"label\":\"VC707-p16_hFFFF-t50\","
+        "\"attempt\":\"1\"}},\n"
+        "{\"name\":\"weird \\\"name\\\"\\n\",\"cat\":\"uvolt\","
+        "\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":2.000,"
+        "\"dur\":1.000}\n"
+        "]}\n";
+    EXPECT_EQ(harness::chromeTraceJson(events), expected);
+}
+
+TEST(TelemetryTest, FleetTraceContainsNestedInstrumentation)
+{
+    if (!Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    TelemetryOn guard;
+
+    auto result = harness::Campaign::onPlatform("ZC702")
+                      .sweep(3)
+                      .run();
+    ASSERT_TRUE(result.ok());
+
+    const auto events = Registry::global().traceEvents();
+    std::size_t jobs = 0, levels = 0, setpoints = 0;
+    for (const auto &event : events) {
+        const std::string_view name = event.name;
+        jobs += name == "fleet.job";
+        levels += name == "sweep.level";
+        setpoints += name == "pmbus.setpoint";
+    }
+    EXPECT_EQ(jobs, 1u);
+    EXPECT_GT(levels, 0u);
+    EXPECT_GT(setpoints, 0u);
+    expectWellNested(events);
+
+    // The document round-trips as JSON in spirit: balanced braces and
+    // one object per recorded event.
+    const std::string json = harness::chromeTraceJson(events);
+    std::size_t depth = 0, objects = 0;
+    bool in_string = false, escaped = false;
+    for (char c : json) {
+        if (escaped) {
+            escaped = false;
+            continue;
+        }
+        if (c == '\\') {
+            escaped = true;
+            continue;
+        }
+        if (c == '"') {
+            in_string = !in_string;
+            continue;
+        }
+        if (in_string)
+            continue;
+        if (c == '{') {
+            if (++depth == 2)
+                ++objects;
+        } else if (c == '}') {
+            ASSERT_GT(depth, 0u);
+            --depth;
+        }
+    }
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(depth, 0u);
+    EXPECT_GE(objects, events.size());
+
+    // The merged metrics carry the same story as the trace.
+    const auto snapshot = Registry::global().metrics();
+    EXPECT_EQ(snapshot.counter("fleet.jobs"), 1u);
+    EXPECT_EQ(snapshot.counter("sweep.levels"), levels);
+    ASSERT_NE(snapshot.histogram("sweep.level_ms"), nullptr);
+    EXPECT_EQ(snapshot.histogram("sweep.level_ms")->count, levels);
+    EXPECT_GT(snapshot.counter("pmbus.txn.attempts"), 0u);
+}
+
+TEST(TelemetryTest, EnablingTelemetryDoesNotChangeSweepResults)
+{
+    if (!Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    const bool was = Telemetry::enabled();
+
+    Telemetry::setEnabled(false);
+    auto off = harness::Campaign::onPlatform("ZC702").sweep(3).run();
+    ASSERT_TRUE(off.ok());
+
+    Registry::global().resetForTest();
+    Telemetry::setEnabled(true);
+    auto on = harness::Campaign::onPlatform("ZC702").sweep(3).run();
+    Telemetry::setEnabled(was);
+    Registry::global().resetForTest();
+    ASSERT_TRUE(on.ok());
+
+    // Telemetry draws from no RNG stream and reorders no work: the
+    // physics must be bit-identical with recording on and off.
+    const harness::SweepResult &p = off.value().onlySweep();
+    const harness::SweepResult &q = on.value().onlySweep();
+    ASSERT_EQ(p.points.size(), q.points.size());
+    for (std::size_t i = 0; i < p.points.size(); ++i) {
+        EXPECT_EQ(p.points[i].vccBramMv, q.points[i].vccBramMv);
+        EXPECT_EQ(p.points[i].runCounts, q.points[i].runCounts);
+        EXPECT_EQ(p.points[i].medianFaults, q.points[i].medianFaults);
+        EXPECT_EQ(p.points[i].faultsPerMbit, q.points[i].faultsPerMbit);
+        EXPECT_EQ(p.points[i].perBramFaults, q.points[i].perBramFaults);
+        EXPECT_EQ(p.points[i].oneToZeroFraction,
+                  q.points[i].oneToZeroFraction);
+    }
+}
+
+TEST(TelemetryTest, ResetForTestKeepsRegistrationsValid)
+{
+    if (!Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    TelemetryOn guard;
+
+    auto &counter = Registry::global().counter("test.reset.counter");
+    counter.add(7);
+    EXPECT_EQ(Registry::global().metrics().counter("test.reset.counter"),
+              7u);
+
+    Registry::global().resetForTest();
+    EXPECT_EQ(Registry::global().metrics().counter("test.reset.counter"),
+              0u);
+
+    // The cached handle survives the reset (call sites keep statics).
+    counter.add(3);
+    EXPECT_EQ(Registry::global().metrics().counter("test.reset.counter"),
+              3u);
+}
+
+TEST(TelemetryTest, MetricsSnapshotExporters)
+{
+    if (!Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    TelemetryOn guard;
+
+    Registry::global().counter("test.export.counter").add(5);
+    Registry::global().gauge("test.export.gauge").set(0.75);
+    Registry::global()
+        .histogram("test.export.histogram", {1.0, 2.0})
+        .observe(1.5);
+
+    const auto snapshot = Registry::global().metrics();
+    const std::string json = harness::metricsJson(snapshot);
+    EXPECT_NE(json.find("\"test.export.counter\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"test.export.gauge\": 0.750000"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"test.export.histogram\""), std::string::npos);
+
+    const TextTable table = harness::metricsTable(snapshot);
+    EXPECT_GE(table.rows(), 3u);
+}
+
+} // namespace
+} // namespace uvolt::telemetry
