@@ -1,0 +1,354 @@
+/**
+ * @file
+ * The unified benchmark binary: every hot path of the library on one
+ * UVOLT_BENCHMARK harness, one results table, one schema-versioned
+ * BENCH_uvolt.json that scripts/check_regression.py gates CI with.
+ *
+ * Coverage: the sweep inner loop (telemetry off and on), BRAM readback
+ * and device-wide fault counting at Vcrash, fleet fan-out at 0/1/8
+ * workers, the FvmCache hit path, CRC-16 frame encode, SECDED decode,
+ * k-means clustering, weight quantization, ICBP placement, and MNIST
+ * inference/generation. Not a paper figure — engineering telemetry for
+ * the simulator itself (the old micro_perf binary, re-homed).
+ *
+ * After the suite, the telemetry off/on sweep benches are compared and
+ * written to results/ext_telemetry.csv: the "off" row is the
+ * instrumented build paying only the Telemetry::enabled() branch; run
+ * the same bench from a -DUVOLT_TELEMETRY=OFF build (the "compiled"
+ * column flips to "no") to compare against fully compiled-out code —
+ * the disabled overhead must stay under 2 %.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "accel/placement.hh"
+#include "accel/secded.hh"
+#include "accel/weight_image.hh"
+#include "data/synthetic.hh"
+#include "harness/campaign.hh"
+#include "harness/fvm.hh"
+#include "nn/network.hh"
+#include "nn/quantizer.hh"
+#include "pmbus/board.hh"
+#include "pmbus/serial_link.hh"
+#include "util/bench.hh"
+#include "util/cli.hh"
+#include "util/format.hh"
+#include "util/kmeans.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+#include "util/telemetry.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace uvolt;
+
+pmbus::Board &
+vc707()
+{
+    static pmbus::Board board(fpga::findPlatform("VC707"));
+    return board;
+}
+
+/** Park the shared board at Vcrash with the reference pattern loaded. */
+void
+parkAtVcrash(pmbus::Board &board)
+{
+    board.device().fillAll(0xFFFF);
+    board.setVccBramMv(board.spec().calib.bramVcrashMv);
+    board.startReferenceRun();
+}
+
+UVOLT_BENCHMARK(BM_BramReadbackAtVcrash)
+{
+    auto &board = vc707();
+    parkAtVcrash(board);
+    std::uint32_t bram = 0;
+    for (auto _ : state) {
+        bench::doNotOptimize(board.readBramToHost(bram));
+        bram = (bram + 1) % board.device().bramCount();
+    }
+    state.setBytesPerIteration(fpga::bramRows * 2);
+    board.softReset();
+}
+
+/** One sweep inner-loop pass: count faults across the whole device. */
+std::uint64_t
+deviceFaultPass(pmbus::Board &board)
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t b = 0; b < board.device().bramCount(); ++b)
+        total += static_cast<std::uint64_t>(board.countBramFaults(b));
+    return total;
+}
+
+UVOLT_BENCHMARK(BM_DeviceFaultCount)
+{
+    auto &board = vc707();
+    parkAtVcrash(board);
+    for (auto _ : state)
+        bench::doNotOptimize(deviceFaultPass(board));
+    board.softReset();
+}
+
+UVOLT_BENCHMARK(BM_SweepInnerLoopTelemetryOff)
+{
+    auto &board = vc707();
+    parkAtVcrash(board);
+    telemetry::Telemetry::setEnabled(false);
+    for (auto _ : state)
+        bench::doNotOptimize(deviceFaultPass(board));
+    board.softReset();
+}
+
+UVOLT_BENCHMARK(BM_SweepInnerLoopTelemetryOn)
+{
+    auto &board = vc707();
+    parkAtVcrash(board);
+    telemetry::Telemetry::setEnabled(true);
+    for (auto _ : state)
+        bench::doNotOptimize(deviceFaultPass(board));
+    telemetry::Telemetry::setEnabled(false);
+    board.softReset();
+}
+
+/**
+ * A small but real fleet: 4 dies x 2 patterns = 8 jobs, tiny sweeps,
+ * no per-BRAM maps, no ledger — the scheduling overhead and scaling of
+ * FleetEngine itself, not the sweep arithmetic.
+ */
+harness::Campaign
+fanoutCampaign()
+{
+    harness::Campaign campaign =
+        harness::Campaign::onPlatforms(
+            {"VC707", "ZC702", "KC705-A", "KC705-B"})
+            .withPatterns({harness::PatternSpec::allOnes(),
+                           harness::PatternSpec::fixed(0x0000)});
+    campaign.sweep(2).stepMv(50).perBramMaps(false).ledgerUnder("");
+    return campaign;
+}
+
+void
+runFanout(bench::State &state, std::size_t workers)
+{
+    const harness::Campaign campaign = fanoutCampaign();
+    if (workers == 0) {
+        for (auto _ : state)
+            bench::doNotOptimize(campaign.run().orFatal().jobs.size());
+    } else {
+        ThreadPool pool(workers);
+        for (auto _ : state)
+            bench::doNotOptimize(campaign.run(pool).orFatal().jobs.size());
+    }
+    state.setItemsPerIteration(8); // jobs per fleet run
+}
+
+UVOLT_BENCHMARK(BM_FleetFanout0Workers) { runFanout(state, 0); }
+UVOLT_BENCHMARK(BM_FleetFanout1Worker) { runFanout(state, 1); }
+UVOLT_BENCHMARK(BM_FleetFanout8Workers) { runFanout(state, 8); }
+
+UVOLT_BENCHMARK(BM_FvmCacheHit)
+{
+    auto &board = vc707();
+    Rng rng(11);
+    std::vector<int> faults(board.device().bramCount());
+    for (auto &f : faults)
+        f = rng.chance(0.39) ? 0 : static_cast<int>(rng.uniformInt(1, 99));
+    const auto characterize = [&]() -> Expected<harness::Fvm> {
+        return harness::Fvm("bench", board.device().floorplan(), faults);
+    };
+    harness::FvmCache cache("results/bench_cache");
+    const auto pattern = harness::PatternSpec::allOnes();
+    // Prime the memory layer; every timed obtain() is then a pure hit.
+    cache.obtain(board.spec(), pattern, 15, characterize).orFatal();
+    for (auto _ : state) {
+        bench::doNotOptimize(
+            cache.obtain(board.spec(), pattern, 15, characterize)
+                .orFatal()
+                ->bramCount());
+    }
+}
+
+UVOLT_BENCHMARK(BM_CrcFrameEncode)
+{
+    std::vector<std::uint16_t> row(fpga::bramRows);
+    Rng rng(5);
+    for (auto &word : row)
+        word = static_cast<std::uint16_t>(rng.uniformInt(0, 0xFFFF));
+    pmbus::SerialLink link;
+    for (auto _ : state) {
+        const pmbus::SerialFrame frame =
+            link.transfer(pmbus::SerialLink::packWords(row));
+        bench::doNotOptimize(frame.crc);
+    }
+    state.setBytesPerIteration(fpga::bramRows * 2);
+}
+
+UVOLT_BENCHMARK(BM_SecdedDecode)
+{
+    constexpr std::size_t words = 1024;
+    Rng rng(9);
+    std::vector<std::pair<std::uint16_t, std::uint8_t>> rows(words);
+    for (auto &[data, check] : rows) {
+        data = static_cast<std::uint16_t>(rng.uniformInt(0, 0xFFFF));
+        check = accel::secdedEncode(data);
+        if (rng.chance(0.1)) // a sprinkle of single-bit upsets
+            data ^= static_cast<std::uint16_t>(
+                1u << rng.uniformInt(0, 15));
+    }
+    for (auto _ : state) {
+        std::uint32_t corrected = 0;
+        for (const auto &[data, check] : rows)
+            corrected += accel::secdedDecode(data, check).status ==
+                         accel::SecdedStatus::Corrected;
+        bench::doNotOptimize(corrected);
+    }
+    state.setItemsPerIteration(words);
+}
+
+UVOLT_BENCHMARK(BM_KMeansClustering)
+{
+    Rng rng(7);
+    std::vector<double> rates(2060);
+    for (auto &rate : rates)
+        rate = rng.chance(0.39) ? 0.0 : rng.exponential(100.0);
+    for (auto _ : state)
+        bench::doNotOptimize(kMeans1d(rates, 3));
+}
+
+UVOLT_BENCHMARK(BM_QuantizeMnistModel)
+{
+    nn::Network net({784, 1024, 512, 256, 128, 10});
+    net.initWeights(1);
+    for (auto _ : state)
+        bench::doNotOptimize(nn::quantize(net));
+}
+
+UVOLT_BENCHMARK(BM_IcbpPlacement)
+{
+    nn::Network net({784, 1024, 512, 256, 128, 10});
+    net.initWeights(1);
+    const accel::WeightImage image(nn::quantize(net));
+    std::vector<int> faults(2060);
+    Rng rng(3);
+    for (auto &f : faults)
+        f = rng.chance(0.39) ? 0 : static_cast<int>(rng.uniformInt(1, 99));
+    const harness::Fvm fvm(
+        "bench", vc707().device().floorplan(), std::move(faults));
+    for (auto _ : state)
+        bench::doNotOptimize(accel::icbpPlacement(image, fvm));
+}
+
+UVOLT_BENCHMARK(BM_MnistInference)
+{
+    static const nn::Network net = [] {
+        nn::Network n({784, 1024, 512, 256, 128, 10});
+        n.initWeights(1);
+        return n;
+    }();
+    static const data::Dataset set = data::makeMnistLike(64, 5);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        bench::doNotOptimize(net.classify(set.sample(i)));
+        i = (i + 1) % set.size();
+    }
+    state.setItemsPerIteration(1);
+}
+
+UVOLT_BENCHMARK(BM_MnistGeneration)
+{
+    std::uint64_t seed = 0;
+    for (auto _ : state)
+        bench::doNotOptimize(data::makeMnistLike(32, ++seed));
+    state.setItemsPerIteration(32);
+}
+
+const bench::BenchResult *
+findResult(const std::vector<bench::BenchResult> &results,
+           const std::string &name)
+{
+    for (const auto &result : results)
+        if (result.name == name)
+            return &result;
+    return nullptr;
+}
+
+/**
+ * The telemetry-overhead comparison micro_perf used to print: min
+ * ns/iter of the sweep inner loop with recording off vs on, written to
+ * results/ext_telemetry.csv when both benches ran.
+ */
+void
+writeTelemetryComparison(const std::vector<bench::BenchResult> &results)
+{
+    const auto *off = findResult(results, "BM_SweepInnerLoopTelemetryOff");
+    const auto *on = findResult(results, "BM_SweepInnerLoopTelemetryOn");
+    if (!off || !on || off->wall.minNs <= 0.0)
+        return;
+    const char *compiled =
+        telemetry::Telemetry::compiledIn() ? "yes" : "no";
+    TextTable table({"telemetry", "compiled in", "best pass (ms)",
+                     "vs off"});
+    table.addRow({"off", compiled, fmtDouble(off->wall.minNs / 1e6, 3),
+                  "1.000x"});
+    table.addRow({"on", compiled, fmtDouble(on->wall.minNs / 1e6, 3),
+                  strFormat("{:.3f}x", on->wall.minNs / off->wall.minNs)});
+    std::printf("\n# sweep inner loop, telemetry off vs on (device-wide "
+                "fault count at Vcrash)\n");
+    table.print(std::cout);
+    writeCsv(table, "results/ext_telemetry.csv");
+    std::printf("rebuild with -DUVOLT_TELEMETRY=OFF to compare the "
+                "compiled-out baseline\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Unified benchmark suite; emits BENCH_uvolt.json for "
+                  "scripts/check_regression.py");
+    cli.addString("out", "BENCH_uvolt.json",
+                  "output path of the uvolt-bench-v1 JSON document");
+    cli.addInt("repeats", 9, "timed repeats per benchmark");
+    cli.addDouble("min-time-ms", 20.0,
+                  "calibrated minimum time per repeat");
+    cli.addString("filter", "", "substring filter on benchmark names");
+    cli.addBool("list", "list registered benchmarks and exit");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    if (cli.getBool("list")) {
+        for (const auto &name : bench::Registry::global().names())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    bench::BenchOptions options;
+    options.repeats = static_cast<int>(cli.getInt("repeats"));
+    options.minTimeMs = cli.getDouble("min-time-ms");
+    options.filter = cli.getString("filter");
+
+    const std::vector<bench::BenchResult> results =
+        bench::Registry::global().runAll(options);
+    if (results.empty()) {
+        std::fprintf(stderr, "no benchmark matches filter '%s'\n",
+                     options.filter.c_str());
+        return 1;
+    }
+
+    bench::resultsTable(results).print(std::cout);
+    writeTelemetryComparison(results);
+
+    const std::string out = cli.getString("out");
+    if (!bench::writeBenchJson(results, options, out))
+        return 1;
+    std::printf("\nwrote %zu benchmark(s) to %s (git %s)\n",
+                results.size(), out.c_str(),
+                bench::buildGitSha().c_str());
+    return 0;
+}

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over two uvolt-bench-v1 JSON documents.
+
+Usage:
+    scripts/check_regression.py baseline.json candidate.json \
+        [--tolerance 0.5] [--override NAME=RATIO ...] [--warn-only]
+
+Compares the min-ns-per-iteration wall time (the scheduler-noise floor,
+the most stable statistic the bench framework reports) of every
+benchmark present in both documents. A benchmark fails when
+
+    candidate_min > baseline_min * (1 + tolerance)
+
+with `tolerance` the global --tolerance (default 0.5, i.e. a 50 % slack
+for machine-to-machine noise — an injected 2x slowdown still trips it)
+unless overridden per benchmark with --override NAME=RATIO. Benchmarks
+present in only one document are listed as added/removed and do not
+fail the gate. Exit status: 0 all pass, 1 regression(s), 2 bad input.
+
+Also accepts a pair of uvolt-run-manifest-v1 documents (ledger
+manifests): then the gate compares run duration_ms with the same
+tolerance and reports counter drift informationally.
+"""
+
+import argparse
+import json
+import sys
+
+BENCH_SCHEMA = "uvolt-bench-v1"
+MANIFEST_SCHEMA = "uvolt-run-manifest-v1"
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot load '{path}': {err}")
+    schema = doc.get("schema")
+    if schema not in (BENCH_SCHEMA, MANIFEST_SCHEMA):
+        sys.exit(f"error: '{path}' has unknown schema {schema!r}")
+    return doc
+
+
+def bench_rows(doc):
+    """{name: min wall ns/iter} of a bench document."""
+    rows = {}
+    for bench in doc.get("benchmarks", []):
+        wall = bench.get("wall", {})
+        rows[bench["name"]] = float(wall.get("min_ns", 0.0))
+    return rows
+
+
+def manifest_rows(doc):
+    """The comparable quantities of a run manifest."""
+    execution = doc.get("execution", {})
+    return {"run.duration_ms": float(execution.get("duration_ms", 0.0))}
+
+
+def fmt_ns(value):
+    return f"{value:,.1f}"
+
+
+def print_table(rows):
+    widths = [max(len(str(cell)) for cell in col) for col in zip(*rows)]
+    for i, row in enumerate(rows):
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            print("-" * (sum(widths) + 2 * (len(widths) - 1)))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="reference JSON (committed)")
+    parser.add_argument("candidate", help="freshly measured JSON")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed relative slowdown (default 0.5)")
+    parser.add_argument("--override", action="append", default=[],
+                        metavar="NAME=RATIO",
+                        help="per-benchmark tolerance override")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 "
+                             "(sanitizer builds)")
+    args = parser.parse_args()
+
+    overrides = {}
+    for item in args.override:
+        name, _, ratio = item.partition("=")
+        if not ratio:
+            sys.exit(f"error: malformed --override {item!r}")
+        overrides[name] = float(ratio)
+
+    old_doc = load(args.baseline)
+    new_doc = load(args.candidate)
+    if old_doc["schema"] != new_doc["schema"]:
+        sys.exit("error: cannot compare documents of different schemas")
+    extract = (bench_rows if old_doc["schema"] == BENCH_SCHEMA
+               else manifest_rows)
+    old = extract(old_doc)
+    new = extract(new_doc)
+
+    added = sorted(set(new) - set(old))
+    removed = sorted(set(old) - set(new))
+    shared = [name for name in new if name in old]  # candidate order
+
+    rows = [("benchmark", "baseline ns", "candidate ns", "ratio",
+             "tolerance", "verdict")]
+    failures = []
+    for name in shared:
+        tolerance = overrides.get(name, args.tolerance)
+        base, cand = old[name], new[name]
+        if base <= 0.0:
+            rows.append((name, fmt_ns(base), fmt_ns(cand), "n/a",
+                         f"{tolerance:.2f}", "SKIP (zero baseline)"))
+            continue
+        ratio = cand / base
+        ok = ratio <= 1.0 + tolerance
+        rows.append((name, fmt_ns(base), fmt_ns(cand), f"{ratio:.3f}",
+                     f"{tolerance:.2f}", "ok" if ok else "REGRESSION"))
+        if not ok:
+            failures.append((name, ratio))
+
+    print(f"# perf gate: {args.candidate} vs {args.baseline} "
+          f"(metric: min wall ns/iter)")
+    print_table(rows)
+    for name in added:
+        print(f"note: '{name}' is new (no baseline, not gated)")
+    for name in removed:
+        print(f"note: '{name}' disappeared from the candidate")
+
+    if failures:
+        for name, ratio in failures:
+            print(f"REGRESSION: {name} is {ratio:.2f}x the baseline",
+                  file=sys.stderr)
+        if args.warn_only:
+            print("warn-only mode: not failing the build",
+                  file=sys.stderr)
+            return 0
+        return 1
+    print(f"all {len(shared)} shared benchmark(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

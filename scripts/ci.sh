@@ -26,10 +26,36 @@ run_suite() {
 echo "== tier 1: plain build =="
 run_suite build
 
+echo "== perf gate: bench_all vs committed baseline =="
+# Reduced repeats keep the leg fast; the gate metric is the min across
+# repeats, which converges quickly. The committed baseline lives next
+# to the bench sources; refresh it with:
+#   ./build/bench/bench_all --out bench/BENCH_baseline.json
+./build/bench/bench_all --repeats 5 --min-time-ms 10 \
+    --out build/BENCH_uvolt.json
+python3 scripts/check_regression.py \
+    bench/BENCH_baseline.json build/BENCH_uvolt.json
+
+echo "== golden figures drift check =="
+# Only when the figure CSVs have been regenerated (the figure benches
+# are not part of tier 1); run the fig*/tab* binaries to refresh them.
+if [ -e results/fig01_VCCBRAM.csv ]; then
+    python3 scripts/check_figures.py
+else
+    echo "results/fig*.csv absent; skipping (run the figure benches)"
+fi
+
 echo "== tier 1: sanitized build (ASan + UBSan) =="
 # fatal() death tests exit(1) mid-flight by design; leak checking on
 # those intentional exits would drown the signal.
 ASAN_OPTIONS=detect_leaks=0 run_suite build-asan -DUVOLT_SANITIZE=ON
+
+# Sanitizer timings are not comparable to the plain baseline; run the
+# suite once (it must not crash under ASan) and gate warn-only.
+ASAN_OPTIONS=detect_leaks=0 ./build-asan/bench/bench_all \
+    --repeats 3 --min-time-ms 5 --out build-asan/BENCH_uvolt.json
+python3 scripts/check_regression.py --warn-only \
+    bench/BENCH_baseline.json build-asan/BENCH_uvolt.json
 
 echo "== tier 1: thread-sanitized build (TSan) =="
 # Only the suites that actually spin threads: the fleet engine, the

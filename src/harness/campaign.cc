@@ -1,9 +1,15 @@
 #include "harness/campaign.hh"
 
+#include "harness/ledger.hh"
 #include "util/logging.hh"
 
 namespace uvolt::harness
 {
+
+Campaign::Campaign()
+{
+    options_.ledgerDir = Ledger::defaultDirectory();
+}
 
 Campaign
 Campaign::onPlatform(std::string platform)
@@ -110,6 +116,13 @@ Campaign &
 Campaign::cacheInto(FvmCache &cache)
 {
     options_.fvmCache = &cache;
+    return *this;
+}
+
+Campaign &
+Campaign::ledgerUnder(std::string directory)
+{
+    options_.ledgerDir = std::move(directory);
     return *this;
 }
 

@@ -75,6 +75,14 @@ class Campaign
     /** Publish each die's merged FVM into this cache. */
     Campaign &cacheInto(FvmCache &cache);
 
+    /**
+     * Archive a run-provenance manifest here after every successful
+     * run (default: Ledger::defaultDirectory(), i.e. results/ledger or
+     * $UVOLT_LEDGER_DIR). Pass "" to disable the ledger — hot loops
+     * that run thousands of tiny campaigns (benchmarks) want that.
+     */
+    Campaign &ledgerUnder(std::string directory);
+
     /** Engine-level attempts per job (default 3). */
     Campaign &retries(int max_attempts_per_job);
 
@@ -88,7 +96,7 @@ class Campaign
     Expected<FleetResult> run(ThreadPool &pool) const;
 
   private:
-    Campaign() = default;
+    Campaign(); ///< defaults the ledger to Ledger::defaultDirectory()
 
     std::vector<std::string> platforms_;
     std::vector<PatternSpec> patterns_;

@@ -5,10 +5,14 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include <chrono>
+
 #include "fpga/floorplan.hh"
 #include "fpga/platform.hh"
 #include "harness/checkpoint.hh"
 #include "harness/fvm_io.hh"
+#include "harness/ledger.hh"
+#include "util/bench.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
@@ -402,6 +406,86 @@ FleetEngine::runJob(const FleetPlan &plan, const FleetJob &job) const
     return last;
 }
 
+namespace
+{
+
+/** UTC wall clock as "2026-08-05T12:34:56Z". */
+std::string
+nowIso8601()
+{
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm utc = {};
+    gmtime_r(&now, &utc);
+    return strFormat("{}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+                     utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday,
+                     utc.tm_hour, utc.tm_min, utc.tm_sec);
+}
+
+/** Canonical plan description the config digest hashes. */
+std::string
+canonicalPlan(const FleetPlan &plan, const FleetOptions &options)
+{
+    std::string canonical = strFormat(
+        "runs={};step={};perbram={};regions={};recoveries={};"
+        "attempts={};jobs=",
+        plan.runsPerLevel, plan.stepMv, plan.collectPerBram ? 1 : 0,
+        plan.discoverRegions ? 1 : 0, plan.recovery.maxRecoveriesPerRun,
+        options.maxAttemptsPerJob);
+    for (const auto &job : plan.jobs)
+        canonical += job.label() + ";";
+    return canonical;
+}
+
+/** Archive a finished run's provenance; failures warn, never fail. */
+void
+recordManifest(const FleetOptions &options, const FleetPlan &plan,
+               const FleetResult &result, std::size_t workers,
+               double duration_ms)
+{
+    RunManifest manifest;
+    manifest.gitSha = bench::buildGitSha();
+    manifest.startedAtIso = nowIso8601();
+    manifest.configDigest = configDigest(canonicalPlan(plan, options));
+    manifest.runId = strFormat(
+        "{}-{}", manifest.configDigest.substr(0, 8),
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    for (const auto &job : plan.jobs) {
+        manifest.jobLabels.push_back(job.label());
+        manifest.noiseSeeds.push_back(job.noise ? job.noise->seed : 0);
+    }
+    manifest.runsPerLevel = plan.runsPerLevel;
+    manifest.stepMv = plan.stepMv;
+    manifest.collectPerBram = plan.collectPerBram;
+    manifest.discoverRegions = plan.discoverRegions;
+    manifest.maxAttemptsPerJob = options.maxAttemptsPerJob;
+    manifest.workers = workers;
+    manifest.durationMs = duration_ms;
+    manifest.jobRetries = result.jobRetries;
+    manifest.crashRecoveries = result.resilience.crashRecoveries;
+    manifest.checkpointResumes = result.resilience.checkpointResumes;
+    for (const auto &die : result.dies)
+        manifest.dieRates.emplace_back(die.platform,
+                                       die.faultsPerMbitAtVcrash);
+    if (!options.checkpointDir.empty())
+        manifest.artifacts.push_back(options.checkpointDir);
+    if (options.fvmCache)
+        manifest.artifacts.push_back(options.fvmCache->directory());
+    for (const auto &[name, value] :
+         telemetry::Registry::global().metrics().counters) {
+        if (value)
+            manifest.counters.emplace_back(name, value);
+    }
+
+    const Ledger ledger(options.ledgerDir);
+    if (auto recorded = ledger.record(manifest); !recorded.ok())
+        warn("ledger: {}", recorded.error().message);
+}
+
+} // namespace
+
 Expected<FleetResult>
 FleetEngine::run(const FleetPlan &plan, ThreadPool &pool)
 {
@@ -409,6 +493,7 @@ FleetEngine::run(const FleetPlan &plan, ThreadPool &pool)
         return telemetry::TraceArgs{
             {"jobs", std::to_string(plan.jobs.size())}};
     });
+    const auto run_start = std::chrono::steady_clock::now();
     FleetResult result;
     if (plan.jobs.empty())
         return result;
@@ -524,6 +609,14 @@ FleetEngine::run(const FleetPlan &plan, ThreadPool &pool)
         }
     }
 
+    if (!options_.ledgerDir.empty()) {
+        const double duration_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - run_start)
+                .count();
+        recordManifest(options_, plan, result, pool.workerCount(),
+                       duration_ms);
+    }
     return result;
 }
 

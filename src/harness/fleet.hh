@@ -236,6 +236,15 @@ struct FleetOptions
     /** When set, each die's merged FVM is published here (keyed by the
      *  die's reference-pattern job) once its sweeps complete. */
     FvmCache *fvmCache = nullptr;
+
+    /**
+     * Run-provenance ledger directory ("" = no ledger). A successful
+     * run archives a "uvolt-run-manifest-v1" document here — config
+     * digest, seeds, worker count, duration, telemetry counters — as
+     * both run_manifest.json (latest) and <run_id>.json (history).
+     * The Campaign facade defaults this to Ledger::defaultDirectory().
+     */
+    std::string ledgerDir;
 };
 
 /** Schedules a FleetPlan on a ThreadPool and aggregates the results. */

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/format.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace uvolt::harness
@@ -17,33 +18,7 @@ namespace
 std::string
 jsonEscaped(std::string_view text)
 {
-    std::string out;
-    out.reserve(text.size());
-    for (char c : text) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += strFormat("\\u{:04x}", static_cast<int>(c));
-            else
-                out.push_back(c);
-        }
-    }
-    return out;
+    return json::escaped(text);
 }
 
 /** Microseconds with nanosecond precision (Chrome's timebase). */
@@ -72,11 +47,25 @@ writeDocument(const std::string &document, const std::string &path)
 } // namespace
 
 std::string
-chromeTraceJson(const std::vector<telemetry::TraceEvent> &events)
+chromeTraceJson(const std::vector<telemetry::TraceEvent> &events,
+                const ThreadNames &thread_names)
 {
     std::ostringstream out;
     out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
+    // Metadata records first: name the process, then each known
+    // thread, so Perfetto's timeline rows carry labels.
+    if (!thread_names.empty()) {
+        out << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":0,\"args\":{\"name\":\"uvolt\"}}";
+        first = false;
+        for (const auto &[tid, name] : thread_names) {
+            out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                   "\"tid\":"
+                << tid << ",\"args\":{\"name\":\""
+                << jsonEscaped(name) << "\"}}";
+        }
+    }
     for (const auto &event : events) {
         if (!first)
             out << ",";
@@ -105,16 +94,18 @@ chromeTraceJson(const std::vector<telemetry::TraceEvent> &events)
 
 bool
 writeChromeTrace(const std::vector<telemetry::TraceEvent> &events,
-                 const std::string &path)
+                 const std::string &path,
+                 const ThreadNames &thread_names)
 {
-    return writeDocument(chromeTraceJson(events), path);
+    return writeDocument(chromeTraceJson(events, thread_names), path);
 }
 
 bool
 writeChromeTrace(const std::string &path)
 {
-    return writeChromeTrace(
-        telemetry::Registry::global().traceEvents(), path);
+    const telemetry::Registry &registry = telemetry::Registry::global();
+    return writeChromeTrace(registry.traceEvents(), path,
+                            registry.threadNames());
 }
 
 std::string
@@ -141,7 +132,10 @@ metricsJson(const telemetry::MetricsSnapshot &snapshot)
         out << (first ? "" : ",") << "\n    \""
             << jsonEscaped(histogram.name) << "\": {\"count\": "
             << histogram.count << ", \"sum\": "
-            << strFormat("{:.6f}", histogram.sum) << ", \"bounds\": [";
+            << strFormat("{:.6f}", histogram.sum) << ", \"p50\": "
+            << strFormat("{:.6f}", histogram.p50()) << ", \"p95\": "
+            << strFormat("{:.6f}", histogram.p95()) << ", \"p99\": "
+            << strFormat("{:.6f}", histogram.p99()) << ", \"bounds\": [";
         for (std::size_t i = 0; i < histogram.bounds.size(); ++i) {
             out << (i ? "," : "")
                 << strFormat("{:.6f}", histogram.bounds[i]);
@@ -180,8 +174,12 @@ metricsTable(const telemetry::MetricsSnapshot &snapshot)
         }
         table.addRow({histogram.name, "histogram",
                       std::to_string(histogram.count),
-                      strFormat("mean={} sum={} buckets=[{}]",
+                      strFormat("mean={} p50={} p95={} p99={} sum={} "
+                                "buckets=[{}]",
                                 fmtDouble(histogram.mean()),
+                                fmtDouble(histogram.p50()),
+                                fmtDouble(histogram.p95()),
+                                fmtDouble(histogram.p99()),
                                 fmtDouble(histogram.sum), buckets)});
     }
     return table;

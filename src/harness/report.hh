@@ -26,8 +26,17 @@
 namespace uvolt::harness
 {
 
-/** Serialize spans as a Chrome trace-event JSON document. */
-std::string chromeTraceJson(const std::vector<telemetry::TraceEvent> &events);
+/** (tid, label) pairs exported as thread_name metadata records. */
+using ThreadNames = std::vector<std::pair<std::uint32_t, std::string>>;
+
+/**
+ * Serialize spans as a Chrome trace-event JSON document. When
+ * @a thread_names is nonempty, process_name/thread_name "M" metadata
+ * records precede the spans, so Perfetto shows "fleet-worker-3"
+ * timelines instead of bare tids.
+ */
+std::string chromeTraceJson(const std::vector<telemetry::TraceEvent> &events,
+                            const ThreadNames &thread_names = {});
 
 /**
  * Write @a events to @a path (parent directories created), Chrome
@@ -35,9 +44,10 @@ std::string chromeTraceJson(const std::vector<telemetry::TraceEvent> &events);
  * writeCsv(), so benches keep running in read-only environments.
  */
 bool writeChromeTrace(const std::vector<telemetry::TraceEvent> &events,
-                      const std::string &path);
+                      const std::string &path,
+                      const ThreadNames &thread_names = {});
 
-/** Export the global registry's spans to @a path. */
+/** Export the global registry's spans and thread names to @a path. */
 bool writeChromeTrace(const std::string &path);
 
 /** Serialize a metrics snapshot as a JSON document. */
@@ -50,7 +60,7 @@ bool writeMetricsJson(const telemetry::MetricsSnapshot &snapshot,
 /**
  * Render a snapshot as the repo's table style: one row per metric with
  * columns {metric, type, value, detail}; histograms report their count
- * as the value and mean/sum/buckets in the detail column.
+ * as the value and mean/p50/p95/p99/sum/buckets in the detail column.
  */
 TextTable metricsTable(const telemetry::MetricsSnapshot &snapshot);
 

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal JSON support: string escaping and a small value-tree parser.
+ *
+ * The observability layer emits several JSON artifacts (Chrome traces,
+ * metrics snapshots, BENCH_uvolt.json, run manifests) and must be able
+ * to load its own manifests back for provenance checks. The toolchain
+ * ships no JSON library, so this header provides exactly the subset the
+ * repo needs: RFC 8259 string escaping for the writers, and a strict
+ * recursive-descent parser producing an immutable Value tree for the
+ * readers. The parser accepts only what the writers emit (objects,
+ * arrays, strings with the common escapes, doubles, bools, null) and
+ * reports malformed input as Errc::corruptCache with line context, the
+ * same taxonomy the FVM cache uses for unusable on-disk artifacts.
+ */
+
+#ifndef UVOLT_UTIL_JSON_HH
+#define UVOLT_UTIL_JSON_HH
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace uvolt::json
+{
+
+/** Escape a string for inclusion inside JSON double quotes. */
+std::string escaped(std::string_view text);
+
+/** One node of a parsed JSON document. */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /** Parse a complete document (trailing garbage is an error). */
+    static Expected<Value> parse(std::string_view text);
+
+    /** Parse the file at @a path. */
+    static Expected<Value> parseFile(const std::string &path);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** The boolean; fatal() on a non-bool. */
+    bool boolean() const;
+
+    /** The number; fatal() on a non-number. */
+    double number() const;
+
+    /** The string; fatal() on a non-string. */
+    const std::string &string() const;
+
+    /** Array elements; fatal() on a non-array. */
+    const std::vector<Value> &items() const;
+
+    /** Object members in document order; fatal() on a non-object. */
+    const std::vector<std::pair<std::string, Value>> &members() const;
+
+    /** Member by key, or nullptr (objects only; fatal() otherwise). */
+    const Value *find(std::string_view key) const;
+
+    /** Member by key; fatal() when absent. */
+    const Value &at(std::string_view key) const;
+
+    // Typed convenience lookups with defaults (objects only).
+    double numberOr(std::string_view key, double fallback) const;
+    std::string stringOr(std::string_view key,
+                         const std::string &fallback) const;
+
+  private:
+    friend class Parser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> items_;
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+} // namespace uvolt::json
+
+#endif // UVOLT_UTIL_JSON_HH

@@ -43,6 +43,34 @@ MetricsSnapshot::histogram(std::string_view name) const
     return nullptr;
 }
 
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0 || bounds.empty())
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double rank = q * static_cast<double>(count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        const std::uint64_t in_bucket = buckets[b];
+        if (static_cast<double>(cumulative + in_bucket) < rank) {
+            cumulative += in_bucket;
+            continue;
+        }
+        if (b >= bounds.size()) // overflow bucket: clamp to last bound
+            return bounds.back();
+        const double low = b == 0 ? 0.0 : bounds[b - 1];
+        const double high = bounds[b];
+        if (in_bucket == 0)
+            return high;
+        const double within =
+            (rank - static_cast<double>(cumulative)) /
+            static_cast<double>(in_bucket);
+        return low + (high - low) * within;
+    }
+    return bounds.back();
+}
+
 #ifndef UVOLT_TELEMETRY_DISABLED
 
 namespace
@@ -89,6 +117,9 @@ atomicAdd(std::atomic<double> &total, double value)
 struct ThreadState
 {
     std::uint32_t tid = 0;
+
+    /** Perfetto label; guarded by the registry mutex, not the owner. */
+    std::string name;
 
     std::array<std::atomic<std::uint64_t>, maxCounters> counters{};
 
@@ -286,6 +317,26 @@ Registry::traceEvents() const
                          return a.durNs > b.durNs;
                      });
     return events;
+}
+
+void
+Registry::setThreadName(std::string name)
+{
+    ThreadState &state = impl_->threadState();
+    std::lock_guard lock(impl_->mutex);
+    state.name = std::move(name);
+}
+
+std::vector<std::pair<std::uint32_t, std::string>>
+Registry::threadNames() const
+{
+    std::vector<std::pair<std::uint32_t, std::string>> names;
+    std::lock_guard lock(impl_->mutex);
+    for (const auto &state : impl_->states) {
+        if (!state->name.empty())
+            names.emplace_back(state->tid, state->name);
+    }
+    return names;
 }
 
 std::uint64_t

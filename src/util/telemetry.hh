@@ -73,6 +73,21 @@ struct HistogramSnapshot
     {
         return count ? sum / static_cast<double>(count) : 0.0;
     }
+
+    /**
+     * Quantile estimate with linear interpolation inside the bucket the
+     * rank falls in (the Prometheus histogram_quantile method). The
+     * first bucket interpolates from 0 (observations are durations and
+     * counts here, never negative); a rank landing in the overflow
+     * bucket clamps to the last finite bound — the snapshot cannot know
+     * how far beyond it the tail reaches. 0 when the histogram is
+     * empty.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
 };
 
 /** Point-in-time merge of every registered metric across all shards. */
@@ -196,6 +211,18 @@ class Registry
 
     /** Every recorded span, merged across threads, start-time order. */
     std::vector<TraceEvent> traceEvents() const;
+
+    /**
+     * Name the calling thread for trace exports ("fleet-worker-3"
+     * instead of a bare tid in Perfetto). Independent of the enabled
+     * flag — a name set while recording is off still labels spans
+     * recorded after it is switched on.
+     */
+    void setThreadName(std::string name);
+
+    /** (tid, name) for every thread that named itself, tid order. */
+    std::vector<std::pair<std::uint32_t, std::string>>
+    threadNames() const;
 
     /** Nanoseconds since the registry's epoch (trace timebase). */
     std::uint64_t nowNs() const;
@@ -329,6 +356,12 @@ class Registry
     }
     MetricsSnapshot metrics() const { return {}; }
     std::vector<TraceEvent> traceEvents() const { return {}; }
+    void setThreadName(std::string) {}
+    std::vector<std::pair<std::uint32_t, std::string>>
+    threadNames() const
+    {
+        return {};
+    }
     std::uint64_t nowNs() const { return 0; }
     void recordSpan(const char *, std::uint64_t, std::uint64_t,
                     TraceArgs = {})
@@ -360,6 +393,13 @@ recordSpan(const char *name, std::uint64_t start_ns, std::uint64_t dur_ns,
 {
     Registry::global().recordSpan(name, start_ns, dur_ns,
                                   std::move(args));
+}
+
+/** Shorthand for Registry::global().setThreadName(...). */
+inline void
+setCurrentThreadName(std::string name)
+{
+    Registry::global().setThreadName(std::move(name));
 }
 
 } // namespace uvolt::telemetry

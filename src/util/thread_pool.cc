@@ -2,14 +2,23 @@
 
 #include <algorithm>
 
+#include "util/format.hh"
+#include "util/telemetry.hh"
+
 namespace uvolt
 {
 
-ThreadPool::ThreadPool(std::size_t workers)
+ThreadPool::ThreadPool(std::size_t workers,
+                       const std::string &name_prefix)
 {
     workers_.reserve(workers);
-    for (std::size_t i = 0; i < workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (std::size_t i = 0; i < workers; ++i) {
+        workers_.emplace_back(
+            [this, name = strFormat("{}-{}", name_prefix, i)]() mutable {
+                telemetry::setCurrentThreadName(std::move(name));
+                workerLoop();
+            });
+    }
 }
 
 ThreadPool::~ThreadPool()

@@ -33,8 +33,14 @@ namespace uvolt
 class ThreadPool
 {
   public:
-    /** Spawn @a workers threads; 0 makes submit() run jobs inline. */
-    explicit ThreadPool(std::size_t workers);
+    /**
+     * Spawn @a workers threads; 0 makes submit() run jobs inline. Each
+     * worker registers "<name_prefix>-<index>" as its telemetry thread
+     * name, so Chrome trace exports label the pool's lanes (the default
+     * matches the pool's one consumer, the fleet engine).
+     */
+    explicit ThreadPool(std::size_t workers,
+                        const std::string &name_prefix = "fleet-worker");
 
     /** Drains the queue, then joins every worker. */
     ~ThreadPool();
