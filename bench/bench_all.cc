@@ -267,6 +267,64 @@ UVOLT_BENCHMARK(BM_MnistGeneration)
     state.setItemsPerIteration(32);
 }
 
+/**
+ * The batched-evaluation tentpole: one iteration is one full
+ * 10 000-image evaluateError() pass over a shared synthetic MNIST set
+ * with a mid-size MLP. Three variants share net and data so their
+ * ratios isolate the engine: the per-sample scalar reference, the
+ * blocked/vectorized batched kernel, and the batched kernel fanned over
+ * an 8-worker pool. All three return bit-identical error rates; the
+ * perf gate tracks each one and the speedup is asserted in CI via the
+ * committed baseline.
+ */
+const nn::Network &
+evalNet()
+{
+    static const nn::Network net = [] {
+        nn::Network n({784, 256, 128, 10});
+        n.initWeights(1);
+        return n;
+    }();
+    return net;
+}
+
+const data::Dataset &
+evalSet()
+{
+    static const data::Dataset set = data::makeMnistLike(10000, 5);
+    return set;
+}
+
+UVOLT_BENCHMARK(BM_MnistEvalScalar)
+{
+    const nn::Network &net = evalNet();
+    const data::Dataset &set = evalSet();
+    for (auto _ : state)
+        bench::doNotOptimize(net.evaluateErrorScalar(set));
+    state.setItemsPerIteration(set.size());
+}
+
+UVOLT_BENCHMARK(BM_MnistEvalBatched)
+{
+    const nn::Network &net = evalNet();
+    const data::Dataset &set = evalSet();
+    for (auto _ : state)
+        bench::doNotOptimize(net.evaluateError(set, nn::EvalOptions{}));
+    state.setItemsPerIteration(set.size());
+}
+
+UVOLT_BENCHMARK(BM_MnistEvalBatched8Workers)
+{
+    const nn::Network &net = evalNet();
+    const data::Dataset &set = evalSet();
+    ThreadPool pool(8);
+    for (auto _ : state) {
+        bench::doNotOptimize(
+            net.evaluateError(set, nn::EvalOptions{.pool = &pool}));
+    }
+    state.setItemsPerIteration(set.size());
+}
+
 const bench::BenchResult *
 findResult(const std::vector<bench::BenchResult> &results,
            const std::string &name)

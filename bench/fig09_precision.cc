@@ -44,11 +44,12 @@ main()
     writeCsv(table, "results/fig09_precision.csv");
 
     std::printf("\nwhole model: %.1f%% of weight bits are \"0\" "
-                "(paper: 76.3%%); quantization error delta on 2000 "
+                "(paper: 76.3%%); quantization error delta on %zu "
                 "held-out samples: %+.3f%%\n",
-                model.zeroBitFraction() * 100.0,
+                model.zeroBitFraction() * 100.0, nn::paperEvalLimit,
                 nn::quantizationErrorDelta(
-                    net, nn::makeTestSet(spec, 2000)) * 100.0);
+                    net, nn::makeTestSet(spec, nn::paperEvalLimit),
+                    nn::paperEvalLimit) * 100.0);
     std::printf("paper shape: only the last layer needs digit bits "
                 "(4 on the paper's run)\n");
     return 0;

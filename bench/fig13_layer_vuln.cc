@@ -53,7 +53,7 @@ main()
     // bits; thousands of faults would saturate the small layers).
     options.faultsPerTrial = 100;
     options.trials = 5;
-    options.evalLimit = 2500;
+    options.evalLimit = nn::paperEvalLimit;
     const auto vulnerability =
         accel::analyzeLayerVulnerability(model, test_set, options);
 

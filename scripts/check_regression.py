@@ -108,12 +108,18 @@ def main():
     rows = [("benchmark", "baseline ns", "candidate ns", "ratio",
              "tolerance", "verdict")]
     failures = []
+    skipped = []
     for name in shared:
         tolerance = overrides.get(name, args.tolerance)
         base, cand = old[name], new[name]
         if base <= 0.0:
+            # A zero/negative baseline makes the ratio meaningless
+            # (division by zero, or an obviously corrupt measurement).
+            # Skip rather than fail, but warn loudly: the benchmark is
+            # effectively ungated until the baseline is re-measured.
             rows.append((name, fmt_ns(base), fmt_ns(cand), "n/a",
                          f"{tolerance:.2f}", "SKIP (zero baseline)"))
+            skipped.append(name)
             continue
         ratio = cand / base
         ok = ratio <= 1.0 + tolerance
@@ -129,6 +135,10 @@ def main():
         print(f"note: '{name}' is new (no baseline, not gated)")
     for name in removed:
         print(f"note: '{name}' disappeared from the candidate")
+    for name in skipped:
+        print(f"warning: '{name}' has a zero baseline and was NOT "
+              f"gated; re-measure the baseline to restore coverage",
+              file=sys.stderr)
 
     if failures:
         for name, ratio in failures:

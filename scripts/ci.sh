@@ -45,6 +45,28 @@ else
     echo "results/fig*.csv absent; skipping (run the figure benches)"
 fi
 
+echo "== batched-evaluation identity check (fig11) =="
+# The batched engine's contract is bit-identity at any batch width and
+# worker count. Prove it end to end: run the Fig 11 sweep twice — once
+# at batch 1 (the scalar-equivalent width) and once at batch 64 with a
+# 4-worker pool — and require byte-identical CSVs. A scratch directory
+# keeps the committed results/ untouched; the shared model cache avoids
+# retraining; a reduced UVOLT_EVAL_LIMIT keeps the leg seconds-scale
+# (identity must hold at ANY limit, so a small one proves as much as
+# the full sweep).
+identity_dir="$(mktemp -d)"
+trap 'rm -rf "$identity_dir"' EXIT
+export UVOLT_CACHE_DIR="$PWD/uvolt_model_cache"
+(cd "$identity_dir" && mkdir -p results &&
+    UVOLT_BATCH=1 UVOLT_EVAL_LIMIT=400 \
+        "$OLDPWD/build/bench/fig11_nn_error" > /dev/null &&
+    mv results/fig11_nn_error.csv fig11_batch1.csv &&
+    UVOLT_BATCH=64 UVOLT_EVAL_LIMIT=400 UVOLT_EVAL_WORKERS=4 \
+        "$OLDPWD/build/bench/fig11_nn_error" > /dev/null &&
+    cmp results/fig11_nn_error.csv fig11_batch1.csv)
+unset UVOLT_CACHE_DIR
+echo "fig11 CSV byte-identical at batch 1 vs batch 64 + 4 workers"
+
 echo "== tier 1: sanitized build (ASan + UBSan) =="
 # fatal() death tests exit(1) mid-flight by design; leak checking on
 # those intentional exits would drown the signal.
@@ -64,12 +86,16 @@ echo "== tier 1: thread-sanitized build (TSan) =="
 # single-threaded code. UVOLT_TELEMETRY=ON turns recording on for the
 # whole fleet suite so the lock-free counter shards and per-thread span
 # buffers are exercised under every scheduling the pool produces.
+# nn_test joined the list with the batched evaluation engine: its
+# pool fan-out writes per-batch slots from worker threads.
 cmake -B build-tsan -S . -DUVOLT_SANITIZE=thread
 cmake --build build-tsan -j "$jobs" \
-    --target fleet_test resilience_test telemetry_test
+    --target fleet_test resilience_test telemetry_test nn_test
 UVOLT_TELEMETRY=ON ./build-tsan/tests/fleet_test
 UVOLT_TELEMETRY=ON ./build-tsan/tests/telemetry_test
 ./build-tsan/tests/resilience_test
+UVOLT_TELEMETRY=ON ./build-tsan/tests/nn_test \
+    --gtest_filter='BatchedEval.*'
 
 echo "== telemetry compiled out (-DUVOLT_TELEMETRY=OFF) =="
 # The instrumented call sites must compile and pass with the layer

@@ -20,6 +20,10 @@ struct AccelMetrics
         telemetry::Registry::global().counter("accel.weight_faults");
     telemetry::Counter &crashRecoveries =
         telemetry::Registry::global().counter("accel.crash_recoveries");
+    telemetry::Counter &decodeCacheHits =
+        telemetry::Registry::global().counter("accel.decode_cache.hits");
+    telemetry::Counter &decodeCacheMisses =
+        telemetry::Registry::global().counter("accel.decode_cache.misses");
 };
 
 AccelMetrics &
@@ -49,6 +53,11 @@ void
 Accelerator::program()
 {
     restoreImage();
+    // The device contents just changed epochs; cached readbacks (ours
+    // or of whatever overwrote the BRAMs before this re-program) no
+    // longer describe them.
+    ++programGeneration_;
+    cache_.reset();
 }
 
 void
@@ -91,47 +100,70 @@ Accelerator::readPhysicalRecoverable(std::uint32_t physical) const
           board_.spec().name, physical, max_recoveries);
 }
 
-nn::QuantizedModel
-Accelerator::observedModel() const
+const Accelerator::Observation &
+Accelerator::observed() const
 {
+    const int mv = board_.vccBramMv();
+    const double effective = board_.effectiveVoltage();
+    if (cache_ && cache_->vccBramMv == mv &&
+        cache_->effectiveVoltage == effective &&
+        cache_->generation == programGeneration_) {
+        ++cacheHits_;
+        accelMetrics().decodeCacheHits.increment();
+        return *cache_;
+    }
+
     UVOLT_TRACE_SCOPE("accel.observe_model", [&] {
         return telemetry::TraceArgs{
             {"brams", std::to_string(image_.logicalBramCount())},
-            {"mv", std::to_string(board_.vccBramMv())}};
+            {"mv", std::to_string(mv)}};
     });
-    std::vector<std::vector<std::uint16_t>> observed;
-    observed.reserve(image_.logicalBramCount());
+    accelMetrics().decodeCacheMisses.increment();
+    std::vector<std::vector<std::uint16_t>> rows;
+    rows.reserve(image_.logicalBramCount());
     for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
          ++logical) {
-        observed.push_back(
+        rows.push_back(
             readPhysicalRecoverable(placement_.physicalOf(logical)));
     }
-    return image_.decode(observed);
+    nn::QuantizedModel model = image_.decode(rows);
+    nn::Network network = model.toNetwork();
+    cache_.emplace(Observation{mv, effective, programGeneration_,
+                               std::move(rows), std::move(model),
+                               std::move(network)});
+    return *cache_;
+}
+
+nn::QuantizedModel
+Accelerator::observedModel() const
+{
+    return observed().model;
 }
 
 nn::Network
 Accelerator::observedNetwork() const
 {
-    return observedModel().toNetwork();
+    return observed().network;
 }
 
 WeightFaultReport
 Accelerator::weightFaults() const
 {
+    const Observation &observation = observed();
     WeightFaultReport report;
     report.faultsPerLayer.assign(image_.layerSpans().size(), 0);
 
     for (const LayerSpan &span : image_.layerSpans()) {
         for (std::uint32_t b = 0; b < span.bramCount; ++b) {
             const std::uint32_t logical = span.firstLogicalBram + b;
-            const auto observed =
-                readPhysicalRecoverable(placement_.physicalOf(logical));
+            const auto &rows =
+                observation.rows[static_cast<std::size_t>(logical)];
             const auto &written = image_.rowsOf(logical);
             std::uint64_t faults = 0;
             for (int row = 0; row < fpga::bramRows; ++row) {
                 faults += static_cast<std::uint64_t>(std::popcount(
                     static_cast<unsigned>(
-                        observed[static_cast<std::size_t>(row)] ^
+                        rows[static_cast<std::size_t>(row)] ^
                         written[static_cast<std::size_t>(row)])));
             }
             report.faultsPerLayer[static_cast<std::size_t>(span.layer)] +=
@@ -147,14 +179,24 @@ double
 Accelerator::classificationError(const data::Dataset &test_set,
                                  std::size_t limit) const
 {
+    return classificationError(test_set, nn::EvalOptions{.limit = limit});
+}
+
+double
+Accelerator::classificationError(const data::Dataset &test_set,
+                                 const nn::EvalOptions &options) const
+{
     UVOLT_TRACE_SCOPE("accel.classify", [&] {
         return telemetry::TraceArgs{
             {"mv", std::to_string(board_.vccBramMv())}};
     });
-    const std::size_t n =
-        limit ? std::min(limit, test_set.size()) : test_set.size();
+    const std::size_t n = options.limit
+        ? std::min(options.limit, test_set.size())
+        : test_set.size();
     accelMetrics().inferences.add(n);
-    return observedNetwork().evaluateError(test_set, limit);
+    // The decoded observation is reused across calls at one operating
+    // point; the evaluation itself runs through the batched engine.
+    return observed().network.evaluateError(test_set, options);
 }
 
 } // namespace uvolt::accel

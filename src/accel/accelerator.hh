@@ -17,11 +17,13 @@
 #define UVOLT_ACCEL_ACCELERATOR_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "accel/placement.hh"
 #include "accel/weight_image.hh"
 #include "data/dataset.hh"
+#include "nn/network.hh"
 #include "pmbus/board.hh"
 
 namespace uvolt::accel
@@ -48,28 +50,56 @@ class Accelerator
     const WeightImage &image() const { return image_; }
     const Placement &placement() const { return placement_; }
 
-    /** Re-write the BRAM contents (e.g. after a soft reset). */
+    /**
+     * Re-write the BRAM contents (e.g. after a soft reset, or after
+     * something else wrote to the device's BRAMs). Also drops the
+     * decoded-observation cache, since cached readbacks no longer
+     * describe what the device holds.
+     */
     void program();
 
     /**
      * Read every weight BRAM back under the board's present
      * voltage/temperature/jitter and rebuild the quantized model the
      * datapath would see.
+     *
+     * Readbacks are served from a decoded-observation cache keyed on
+     * the operating point (commanded VCCBRAM plus the effective bitcell
+     * voltage, which folds in temperature and run jitter — i.e. the
+     * fault dose). A repeat call at an unchanged operating point reuses
+     * the previous decode; any change of the dose, or a program(),
+     * invalidates it and forces a fresh readback.
      */
     nn::QuantizedModel observedModel() const;
 
-    /** Float network decoded from observedModel(). */
+    /** Float network decoded from observedModel() (same cache). */
     nn::Network observedNetwork() const;
 
-    /** Count weight-bit faults per layer at the present conditions. */
+    /**
+     * Count weight-bit faults per layer at the present conditions.
+     * Served from the same observation cache as observedModel(), so a
+     * weightFaults() + classificationError() pair at one operating
+     * point costs a single device readback.
+     */
     WeightFaultReport weightFaults() const;
 
     /**
-     * Classification error with the present (possibly faulty) weights.
-     * @param limit evaluate only the first @a limit samples (0 = all)
+     * Classification error with the present (possibly faulty) weights,
+     * evaluated by the batched engine with default options.
+     * @param limit evaluate only the first @a limit samples; 0 and
+     * limit > set size both mean the whole set (see
+     * nn::Network::evaluateError)
      */
     double classificationError(const data::Dataset &test_set,
                                std::size_t limit = 0) const;
+
+    /**
+     * Classification error with explicit evaluation options (batch
+     * width, worker pool). Bit-identical to the default overload at
+     * any batch/worker configuration.
+     */
+    double classificationError(const data::Dataset &test_set,
+                               const nn::EvalOptions &options) const;
 
     /**
      * Spurious DONE-low events survived during readback: each one cost
@@ -77,7 +107,21 @@ class Accelerator
      */
     std::uint64_t crashRecoveries() const { return crashRecoveries_; }
 
+    /** Cache hits served without a device readback (observability). */
+    std::uint64_t observationCacheHits() const { return cacheHits_; }
+
   private:
+    /** One decoded readback and the operating point that produced it. */
+    struct Observation
+    {
+        int vccBramMv;            ///< commanded setpoint
+        double effectiveVoltage;  ///< dose: folds temp + jitter
+        std::uint64_t generation; ///< program() epoch
+        std::vector<std::vector<std::uint16_t>> rows; ///< raw readback
+        nn::QuantizedModel model; ///< decoded from rows
+        nn::Network network;      ///< model.toNetwork()
+    };
+
     /** Re-write the weight image (reconfiguration restores it). */
     void restoreImage() const;
 
@@ -89,10 +133,16 @@ class Accelerator
     std::vector<std::uint16_t>
     readPhysicalRecoverable(std::uint32_t physical) const;
 
+    /** The cached observation at the current dose (refreshed on miss). */
+    const Observation &observed() const;
+
     pmbus::Board &board_;
     WeightImage image_;
     Placement placement_;
     mutable std::uint64_t crashRecoveries_ = 0;
+    mutable std::uint64_t programGeneration_ = 0;
+    mutable std::uint64_t cacheHits_ = 0;
+    mutable std::optional<Observation> cache_;
 };
 
 } // namespace uvolt::accel

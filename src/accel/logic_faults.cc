@@ -99,6 +99,17 @@ evaluateErrorUnderLogicFaults(const nn::Network &net,
         fatal("evaluateErrorUnderLogicFaults: empty dataset");
 
     const double prob = model.neuronUpsetProbability(vcc_int_v);
+    if (prob == 0.0) {
+        // Above Vmin the datapath is fault-free and faultyClassify()
+        // degenerates to an arg-max over the final logits — the same
+        // decision classify() makes (softmax is order-preserving and
+        // the RNG is never consulted). Use the batched engine for the
+        // common fault-free region of every VCCINT sweep.
+        return net.evaluateError(test_set, nn::EvalOptions{.limit = n});
+    }
+    // Below Vmin the upsets draw from one sequential RNG stream whose
+    // per-neuron order is part of the reproducible result; batching
+    // would reorder the draws, so this path stays sample-by-sample.
     Rng rng(combineSeeds(seed, hashSeed("logic-upsets")));
     std::size_t wrong = 0;
     for (std::size_t i = 0; i < n; ++i) {

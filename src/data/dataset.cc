@@ -34,6 +34,16 @@ Dataset::sample(std::size_t index) const
             static_cast<std::size_t>(features_)};
 }
 
+std::span<const float>
+Dataset::samples(std::size_t first, std::size_t count) const
+{
+    if (first + count > labels_.size() || first + count < first)
+        fatal("samples [{}, {}) out of dataset of {}", first,
+              first + count, labels_.size());
+    const std::size_t width = static_cast<std::size_t>(features_);
+    return {data_.data() + first * width, count * width};
+}
+
 Dataset
 Dataset::head(std::size_t count) const
 {

@@ -40,6 +40,15 @@ class Dataset
     /** Feature vector of sample @a index. */
     std::span<const float> sample(std::size_t index) const;
 
+    /**
+     * Contiguous feature rows of samples [first, first + count), back
+     * to back in sample order — the zero-copy input of the batched
+     * evaluation engine (samples are stored flat, so a batch is one
+     * span of the underlying storage).
+     */
+    std::span<const float> samples(std::size_t first,
+                                   std::size_t count) const;
+
     /** Label of sample @a index. */
     int label(std::size_t index) const { return labels_[index]; }
 

@@ -18,6 +18,11 @@
 
 #include "data/dataset.hh"
 
+namespace uvolt
+{
+class ThreadPool;
+}
+
 namespace uvolt::nn
 {
 
@@ -53,6 +58,25 @@ class DenseLayer
     /** z = W x + b. @a z must have outputs() entries. */
     void forward(std::span<const float> x, std::span<float> z) const;
 
+    /**
+     * Batched forward: Z = W X + b over @a batch samples at once.
+     *
+     * @a x is the inputs() x batch activation matrix with sample s in
+     * column s and the batch dimension contiguous (element (i, s) at
+     * x[i * batch + s]); @a z is the outputs() x batch result in the
+     * same layout. The kernel is cache-blocked (a weight tile and an
+     * activation tile stay resident while every output of the block is
+     * accumulated) and lets the compiler vectorize across the batch
+     * columns — independent accumulators, so no float reassociation.
+     *
+     * Bit-identical per column to forward(): each (output, sample)
+     * accumulator starts from the bias and adds the products in
+     * ascending input order, exactly the scalar chain; the blocking
+     * only interleaves *independent* accumulators.
+     */
+    void forwardBatch(std::span<const float> x, std::span<float> z,
+                      int batch) const;
+
     /** Largest absolute weight (per-layer precision analysis, Fig 9). */
     float maxAbsWeight() const;
 
@@ -62,6 +86,42 @@ class DenseLayer
     std::vector<float> weights_;
     std::vector<float> biases_;
 };
+
+/**
+ * The sample count shared by every sampled accuracy study (precision
+ * sweep, per-layer vulnerability): one consistent evalLimit so their
+ * error numbers are computed on the same prefix of the test set and
+ * stay comparable across figures.
+ */
+inline constexpr std::size_t paperEvalLimit = 2500;
+
+/**
+ * Knobs of the batched evaluation engine.
+ *
+ * `limit` follows the evaluateError() convention: 0 means the whole
+ * set, and a limit larger than the set silently clamps to the set size
+ * (both spellings of "everything" are deliberate — see
+ * Network::evaluateError). `batch` is the number of test-set columns
+ * per forwardBatch() call (0 = defaultEvalBatch(), i.e. the UVOLT_BATCH
+ * environment override or 64). A non-null `pool` fans the batches out
+ * over its workers; each batch writes its misclassification count into
+ * a pre-assigned slot and the reduction sums the slots in plan order,
+ * so the result is bit-identical at any worker count (a 0-worker pool
+ * runs the same code inline).
+ */
+struct EvalOptions
+{
+    std::size_t limit = 0; ///< 0 = whole set; > size clamps to size
+    int batch = 0;         ///< columns per kernel call; 0 = default
+    ThreadPool *pool = nullptr; ///< fan batches out; null = this thread
+};
+
+/**
+ * Evaluation batch width used when EvalOptions::batch is 0: the
+ * UVOLT_BATCH environment variable when set (clamped to >= 1),
+ * otherwise 64 (the fastest width measured in BM_MnistEvalBatched).
+ */
+int defaultEvalBatch();
 
 /** The full network. */
 class Network
@@ -97,13 +157,59 @@ class Network
     int classify(std::span<const float> input) const;
 
     /**
-     * Classification error on a dataset (fraction mis-classified).
-     * @param limit evaluate only the first @a limit samples (0 = all)
+     * Batched inference: class distributions for @a batch samples.
+     * @a inputs holds the samples back to back in dataset order (sample
+     * s at inputs[s * inputFeatures]), @a probs receives the
+     * distributions back to back (sample s at probs[s * classCount]).
+     * Column results are bit-identical to infer() on each sample.
+     */
+    void inferBatch(std::span<const float> inputs,
+                    std::span<float> probs, int batch) const;
+
+    /**
+     * Batched arg-max classification of @a batch samples laid out as in
+     * inferBatch(). Bit-identical to classify() per sample.
+     */
+    void classifyBatch(std::span<const float> inputs,
+                       std::span<int> classes, int batch) const;
+
+    /**
+     * Classification error on a dataset (fraction mis-classified),
+     * computed by the batched engine with default options — see the
+     * EvalOptions overload. Bit-identical to evaluateErrorScalar().
+     *
+     * @param limit evaluate only the first @a limit samples. Both
+     * limit == 0 and limit > set.size() mean "the whole set"; callers
+     * that want a fixed sample budget across figures should pass
+     * paperEvalLimit explicitly rather than relying on either spelling.
      */
     double evaluateError(const data::Dataset &set,
                          std::size_t limit = 0) const;
 
+    /**
+     * Batched, optionally parallel classification error. Splits the
+     * evaluated prefix into EvalOptions::batch-column batches, runs
+     * each through forwardBatch(), and reduces the per-batch
+     * misclassification counts in plan order (integer sum — exact at
+     * any worker count). fatal() on an empty evaluation set.
+     */
+    double evaluateError(const data::Dataset &set,
+                         const EvalOptions &options) const;
+
+    /**
+     * Scalar reference path: classify() sample by sample. The batched
+     * engine is verified bit-identical against this in tests and CI;
+     * it exists as the ground truth, not as a fast path.
+     */
+    double evaluateErrorScalar(const data::Dataset &set,
+                               std::size_t limit = 0) const;
+
   private:
+    /** Misclassified count over samples [first, first + count). */
+    std::size_t countMisclassified(const data::Dataset &set,
+                                   std::size_t first, std::size_t count,
+                                   int batch) const;
+
     std::vector<int> sizes_;
     std::vector<DenseLayer> layers_;
 };

@@ -84,9 +84,17 @@ double
 quantizationErrorDelta(const Network &net, const data::Dataset &test_set,
                        std::size_t limit)
 {
+    return quantizationErrorDelta(net, test_set,
+                                  EvalOptions{.limit = limit});
+}
+
+double
+quantizationErrorDelta(const Network &net, const data::Dataset &test_set,
+                       const EvalOptions &options)
+{
     const Network rebuilt = quantize(net).toNetwork();
-    return rebuilt.evaluateError(test_set, limit) -
-        net.evaluateError(test_set, limit);
+    return rebuilt.evaluateError(test_set, options) -
+        net.evaluateError(test_set, options);
 }
 
 } // namespace uvolt::nn

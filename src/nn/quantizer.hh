@@ -59,11 +59,22 @@ QuantizedModel quantize(const Network &net);
 
 /**
  * Quantization sanity metric: classification-error delta between the
- * float network and its quantized/dequantized twin on a dataset.
+ * float network and its quantized/dequantized twin on a dataset. Both
+ * evaluations run through the batched engine with the same options.
+ *
+ * @param limit evaluate only the first @a limit samples; 0 and
+ * limit > set size both mean the whole set (see Network::evaluateError).
+ * The precision-sweep bench passes paperEvalLimit so its delta is
+ * computed on the same sample count as the vulnerability analysis.
  */
 double quantizationErrorDelta(const Network &net,
                               const data::Dataset &test_set,
                               std::size_t limit = 0);
+
+/** As above with full evaluation options (batch width, worker pool). */
+double quantizationErrorDelta(const Network &net,
+                              const data::Dataset &test_set,
+                              const EvalOptions &options);
 
 } // namespace uvolt::nn
 

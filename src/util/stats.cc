@@ -63,8 +63,17 @@ quantile(std::vector<double> values, double q)
 {
     if (values.empty())
         fatal("quantile() of an empty sample");
-    q = std::clamp(q, 0.0, 1.0);
+    // NaN-proof clamp: every comparison against NaN is false, so the
+    // plain std::clamp would let NaN through into the index cast below.
+    if (!(q > 0.0))
+        q = 0.0;
+    else if (q >= 1.0)
+        q = 1.0;
     std::sort(values.begin(), values.end());
+    if (q == 0.0 || values.size() == 1)
+        return values.front();
+    if (q == 1.0) // exact extreme, no interpolation round-off
+        return values.back();
     const double pos = q * static_cast<double>(values.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(pos);
     const std::size_t hi = std::min(lo + 1, values.size() - 1);

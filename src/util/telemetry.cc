@@ -48,11 +48,18 @@ HistogramSnapshot::quantile(double q) const
 {
     if (count == 0 || bounds.empty())
         return 0.0;
-    q = std::min(1.0, std::max(0.0, q));
+    // NaN-proof clamp, mirroring util::quantile().
+    if (!(q > 0.0))
+        q = 0.0;
+    else if (q >= 1.0)
+        q = 1.0;
     const double rank = q * static_cast<double>(count);
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < buckets.size(); ++b) {
         const std::uint64_t in_bucket = buckets[b];
+        if (in_bucket == 0)
+            continue; // skip empty buckets: q=0 must land on the low
+                      // edge of the first bucket that holds samples
         if (static_cast<double>(cumulative + in_bucket) < rank) {
             cumulative += in_bucket;
             continue;
@@ -61,8 +68,6 @@ HistogramSnapshot::quantile(double q) const
             return bounds.back();
         const double low = b == 0 ? 0.0 : bounds[b - 1];
         const double high = bounds[b];
-        if (in_bucket == 0)
-            return high;
         const double within =
             (rank - static_cast<double>(cumulative)) /
             static_cast<double>(in_bucket);

@@ -19,6 +19,7 @@
 #include "harness/fvm.hh"
 #include "nn/trainer.hh"
 #include "pmbus/board.hh"
+#include "util/thread_pool.hh"
 
 namespace uvolt::accel
 {
@@ -298,6 +299,94 @@ TEST(AcceleratorTest, FaultsAppearAtVcrash)
     EXPECT_EQ(std::accumulate(report.faultsPerLayer.begin(),
                               report.faultsPerLayer.end(), 0ull),
               report.total);
+}
+
+TEST(AcceleratorTest, ObservationCacheServesRepeatCalls)
+{
+    Board board(fpga::findPlatform("ZC702"));
+    const WeightImage image(smallModel());
+    const Accelerator accel(board, image, defaultPlacement(image));
+    board.startReferenceRun();
+
+    EXPECT_EQ(accel.observationCacheHits(), 0u);
+    const WeightFaultReport faults = accel.weightFaults();
+    const double error = accel.classificationError(smallTestSet());
+    // The weightFaults() + classificationError() pair at one operating
+    // point costs a single readback; everything after the first call
+    // is a hit.
+    const std::uint64_t hits = accel.observationCacheHits();
+    EXPECT_GT(hits, 0u);
+
+    // Repeat calls at the unchanged dose: hits only, same answers.
+    EXPECT_EQ(accel.weightFaults().total, faults.total);
+    EXPECT_DOUBLE_EQ(accel.classificationError(smallTestSet()), error);
+    EXPECT_GT(accel.observationCacheHits(), hits);
+}
+
+TEST(AcceleratorTest, ObservationCacheInvalidatedByVoltageChange)
+{
+    Board board(fpga::findPlatform("ZC702"));
+    const WeightImage image(smallModel());
+    const Accelerator accel(board, image, defaultPlacement(image));
+    board.startReferenceRun();
+
+    const double nominal = accel.classificationError(smallTestSet());
+
+    // Dropping VCCBRAM changes the fault dose: the stale decode must
+    // not be served, and the fresh one must match a from-scratch
+    // accelerator at the same operating point.
+    board.setVccBramMv(board.spec().calib.bramVcrashMv);
+    const std::uint64_t hits = accel.observationCacheHits();
+    const double at_vcrash = accel.classificationError(smallTestSet());
+    EXPECT_EQ(accel.observationCacheHits(), hits); // miss, not a hit
+    EXPECT_GT(accel.weightFaults().total, 0u);
+
+    Board fresh_board(fpga::findPlatform("ZC702"));
+    const Accelerator fresh(fresh_board, image,
+                            defaultPlacement(image));
+    fresh_board.setVccBramMv(fresh_board.spec().calib.bramVcrashMv);
+    fresh_board.startReferenceRun();
+    EXPECT_DOUBLE_EQ(fresh.classificationError(smallTestSet()),
+                     at_vcrash);
+
+    // Returning to nominal re-decodes back to the fault-free answer.
+    board.setVccBramMv(board.spec().vnomMv);
+    EXPECT_DOUBLE_EQ(accel.classificationError(smallTestSet()), nominal);
+}
+
+TEST(AcceleratorTest, ObservationCacheInvalidatedByProgram)
+{
+    Board board(fpga::findPlatform("ZC702"));
+    const WeightImage image(smallModel());
+    Accelerator accel(board, image, defaultPlacement(image));
+    board.startReferenceRun();
+
+    accel.observedModel();
+    const std::uint64_t hits_before = accel.observationCacheHits();
+    accel.observedModel();
+    EXPECT_EQ(accel.observationCacheHits(), hits_before + 1);
+
+    // program() rewrites the BRAMs: cached readbacks no longer
+    // describe the device, so the next observation is a miss.
+    accel.program();
+    accel.observedModel();
+    EXPECT_EQ(accel.observationCacheHits(), hits_before + 1);
+}
+
+TEST(AcceleratorTest, BatchedEvalOptionsMatchDefaultOverload)
+{
+    Board board(fpga::findPlatform("ZC702"));
+    const WeightImage image(smallModel());
+    const Accelerator accel(board, image, defaultPlacement(image));
+    board.setVccBramMv(board.spec().calib.bramVcrashMv);
+    board.startReferenceRun();
+
+    const double reference = accel.classificationError(smallTestSet());
+    ThreadPool pool(4);
+    const nn::EvalOptions options{.limit = 0, .batch = 11,
+                                  .pool = &pool};
+    EXPECT_DOUBLE_EQ(accel.classificationError(smallTestSet(), options),
+                     reference);
 }
 
 TEST(AcceleratorTest, FaultCountGrowsWithDepth)

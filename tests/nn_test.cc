@@ -17,6 +17,7 @@
 #include "nn/quantizer.hh"
 #include "nn/trainer.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace uvolt::nn
 {
@@ -278,6 +279,112 @@ TEST(ModelZoo, SaveLoadRoundTrip)
     EXPECT_FALSE(loadNetwork(wrong, path));
     EXPECT_FALSE(loadNetwork(loaded, "test_zoo_cache/nonexistent.nnw"));
     std::filesystem::remove_all("test_zoo_cache");
+}
+
+/** A mid-size net + dataset shared by the batched-engine tests. */
+struct BatchedFixture
+{
+    Network net{{data::forestFeatures, 64, 32, data::forestClasses}};
+    data::Dataset set = data::makeForestLike(337, 11); // odd size: the
+                                                       // tail batch is
+                                                       // always ragged
+    BatchedFixture() { net.initWeights(9); }
+};
+
+TEST(BatchedEval, ForwardBatchBitIdenticalPerColumn)
+{
+    BatchedFixture fx;
+    const DenseLayer &layer = fx.net.layer(0);
+    constexpr int batch = 5;
+
+    // Transpose 5 samples into the kernel's feature-major layout.
+    std::vector<float> x(static_cast<std::size_t>(layer.inputs()) * batch);
+    for (int s = 0; s < batch; ++s) {
+        const auto sample = fx.set.sample(static_cast<std::size_t>(s));
+        for (int i = 0; i < layer.inputs(); ++i)
+            x[static_cast<std::size_t>(i) * batch +
+              static_cast<std::size_t>(s)] = sample[
+                static_cast<std::size_t>(i)];
+    }
+    std::vector<float> z(static_cast<std::size_t>(layer.outputs()) * batch);
+    layer.forwardBatch(x, z, batch);
+
+    std::vector<float> expected(static_cast<std::size_t>(layer.outputs()));
+    for (int s = 0; s < batch; ++s) {
+        layer.forward(fx.set.sample(static_cast<std::size_t>(s)), expected);
+        for (int o = 0; o < layer.outputs(); ++o) {
+            // EXPECT_EQ, not EXPECT_FLOAT_EQ: the contract is exact.
+            EXPECT_EQ(z[static_cast<std::size_t>(o) * batch +
+                        static_cast<std::size_t>(s)],
+                      expected[static_cast<std::size_t>(o)])
+                << "sample " << s << " output " << o;
+        }
+    }
+}
+
+TEST(BatchedEval, InferBatchBitIdenticalToInfer)
+{
+    BatchedFixture fx;
+    constexpr int batch = 7;
+    const std::size_t features = data::forestFeatures;
+    const std::size_t classes = data::forestClasses;
+
+    std::vector<float> inputs(features * batch);
+    for (int s = 0; s < batch; ++s) {
+        const auto sample = fx.set.sample(static_cast<std::size_t>(s));
+        std::copy(sample.begin(), sample.end(),
+                  inputs.begin() + static_cast<std::size_t>(s) * features);
+    }
+    std::vector<float> probs(classes * batch);
+    fx.net.inferBatch(inputs, probs, batch);
+    std::vector<int> predicted(batch);
+    fx.net.classifyBatch(inputs, predicted, batch);
+
+    for (int s = 0; s < batch; ++s) {
+        const auto sample = fx.set.sample(static_cast<std::size_t>(s));
+        const auto expected = fx.net.infer(sample);
+        for (std::size_t c = 0; c < classes; ++c) {
+            EXPECT_EQ(probs[static_cast<std::size_t>(s) * classes + c],
+                      expected[c])
+                << "sample " << s << " class " << c;
+        }
+        EXPECT_EQ(predicted[static_cast<std::size_t>(s)],
+                  fx.net.classify(sample));
+    }
+}
+
+TEST(BatchedEval, BitIdenticalToScalarAcrossBatchSizes)
+{
+    BatchedFixture fx;
+    const double scalar = fx.net.evaluateErrorScalar(fx.set);
+    for (const int batch :
+         {1, 7, 32, static_cast<int>(fx.set.size())}) {
+        EXPECT_DOUBLE_EQ(
+            fx.net.evaluateError(fx.set, EvalOptions{.batch = batch}),
+            scalar)
+            << "batch " << batch;
+    }
+    // The two spellings of "whole set" and a clamping limit agree.
+    EXPECT_DOUBLE_EQ(fx.net.evaluateError(fx.set, 0), scalar);
+    EXPECT_DOUBLE_EQ(fx.net.evaluateError(fx.set, fx.set.size() + 999),
+                     scalar);
+    // A real prefix limit matches the scalar path on the same prefix.
+    EXPECT_DOUBLE_EQ(fx.net.evaluateError(fx.set, 100),
+                     fx.net.evaluateErrorScalar(fx.set, 100));
+}
+
+TEST(BatchedEval, BitIdenticalAtAnyWorkerCount)
+{
+    BatchedFixture fx;
+    const double scalar = fx.net.evaluateErrorScalar(fx.set);
+    for (const std::size_t workers : {0u, 1u, 8u}) {
+        ThreadPool pool(workers);
+        EXPECT_DOUBLE_EQ(
+            fx.net.evaluateError(
+                fx.set, EvalOptions{.batch = 16, .pool = &pool}),
+            scalar)
+            << workers << " workers";
+    }
 }
 
 TEST(ModelZoo, TestSetDisjointFromTrainSet)

@@ -13,6 +13,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -121,6 +122,29 @@ TEST(HistogramQuantile, EmptyHistogramIsZero)
 {
     telemetry::HistogramSnapshot h;
     EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantile, SkipsEmptyLeadingBuckets)
+{
+    telemetry::HistogramSnapshot h = flatHistogram();
+    h.buckets = {0, 0, 4, 0}; // all samples in (20, 30]
+    h.count = 4;
+    // q=0 is the low edge of the first bucket that actually holds
+    // samples, not a stale bound from an empty leading bucket.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 20.0);
+    EXPECT_NEAR(h.p50(), 25.0, 1e-9);
+    // q=1 is the exact top of the populated range.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 30.0);
+}
+
+TEST(HistogramQuantile, ClampsOutOfRangeAndNanQ)
+{
+    const telemetry::HistogramSnapshot h = flatHistogram();
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+    EXPECT_DOUBLE_EQ(
+        h.quantile(std::numeric_limits<double>::quiet_NaN()),
+        h.quantile(0.0));
 }
 
 TEST(HistogramQuantile, SurfacesInReportJsonAndTable)

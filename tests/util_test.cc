@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/cli.hh"
@@ -200,6 +201,26 @@ TEST(Quantile, MedianAndInterpolation)
     EXPECT_DOUBLE_EQ(median(even), 2.5);
     EXPECT_DOUBLE_EQ(quantile(even, 0.0), 1.0);
     EXPECT_DOUBLE_EQ(quantile(even, 1.0), 4.0);
+}
+
+TEST(Quantile, EdgeCases)
+{
+    // Single element: every q returns it.
+    std::vector<double> one{7.5};
+    EXPECT_DOUBLE_EQ(quantile(one, 0.0), 7.5);
+    EXPECT_DOUBLE_EQ(quantile(one, 0.5), 7.5);
+    EXPECT_DOUBLE_EQ(quantile(one, 1.0), 7.5);
+
+    // Out-of-range q clamps instead of indexing out of bounds, and
+    // the extremes are the exact sample min/max (no interpolation
+    // round-off from pos = q * (n - 1) landing at n - 1 - epsilon).
+    std::vector<double> values{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+    EXPECT_DOUBLE_EQ(quantile(values, -3.0), 0.1);
+    EXPECT_DOUBLE_EQ(quantile(values, 2.0), 0.7);
+
+    // NaN q must not reach the index arithmetic; it clamps to 0.
+    EXPECT_DOUBLE_EQ(
+        quantile(values, std::numeric_limits<double>::quiet_NaN()), 0.1);
 }
 
 TEST(HistogramTest, BinningAndClamping)
