@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Extension bench: the undervolting-as-a-service daemon under load.
+ *
+ * Two phases, both exercising the service-level contract the serving
+ * layer adds on top of the harness:
+ *
+ *  1. Identity. A fixed set of characterize + classify requests is
+ *     served twice — once on a quiet server and once with the PR 1
+ *     fault injector storming every channel — and every response must
+ *     be bit-identical. The masking guarantee ("the noisy run IS the
+ *     clean run") has to survive admission, retries, coalescing and
+ *     checkpointed slicing, not just the raw sweep loop.
+ *
+ *  2. Closed-loop load. N requests issued by C client threads, each
+ *     waiting for its response before submitting the next (closed
+ *     loop: rejections back off and retry, so admission control is
+ *     exercised without open-loop overload artifacts). A seeded
+ *     characterize/classify mix with a sprinkling of low-priority and
+ *     already-expired requests. At the end the exactly-once ledger
+ *     must balance: every admitted request was responded to exactly
+ *     once, nothing lost, nothing duplicated, and the drained queue is
+ *     empty. p50/p99 end-to-end latency and per-request cost are
+ *     exported as uvolt-bench-v1 rows (SV_ServeE2EP50 / SV_ServeE2EP99
+ *     / SV_ServeReqCost) for scripts/check_regression.py.
+ *
+ * Exit status is the robustness verdict: nonzero when identity or the
+ * exactly-once accounting fails — the CI soak leg runs this binary
+ * under TSan with --noise and trusts the exit code.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "data/synthetic.hh"
+#include "harness/experiment.hh"
+#include "nn/network.hh"
+#include "pmbus/fault_injector.hh"
+#include "serve/server.hh"
+#include "util/bench.hh"
+#include "util/cli.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace uvolt;
+
+namespace
+{
+
+/** A small deterministic classifier shared by every phase. */
+std::shared_ptr<const nn::Network>
+fixedNet()
+{
+    static std::shared_ptr<const nn::Network> net = [] {
+        auto fresh = std::make_shared<nn::Network>(std::vector<int>{
+            data::forestFeatures, 16, data::forestClasses});
+        fresh->initWeights(42);
+        return fresh;
+    }();
+    return net;
+}
+
+serve::ModelProvider
+fixedProvider()
+{
+    return [](int) -> Expected<std::shared_ptr<const nn::Network>> {
+        return fixedNet();
+    };
+}
+
+/** Sample-major feature rows for @a count synthetic samples. */
+serve::ClassifyRequest
+forestRequest(std::size_t count, std::uint64_t seed, int setpoint_mv)
+{
+    const data::Dataset set = data::makeForestLike(count, seed);
+    serve::ClassifyRequest request;
+    request.sampleCount = count;
+    request.setpointMv = setpoint_mv;
+    request.samples.reserve(count * data::forestFeatures);
+    for (std::size_t s = 0; s < count; ++s) {
+        const auto row = set.sample(s);
+        request.samples.insert(request.samples.end(), row.begin(),
+                               row.end());
+    }
+    return request;
+}
+
+/** Canonical text form of a sweep, for bit-identity comparison. */
+std::string
+sweepDigest(const harness::SweepResult &sweep)
+{
+    std::string digest = sweep.platform + ";" + sweep.dieId;
+    for (const auto &point : sweep.points) {
+        digest += strFormat(";{}:{}", point.vccBramMv,
+                            point.medianFaults);
+        for (double count : point.runCounts)
+            digest += strFormat("|{}", count);
+        for (unsigned faults : point.perBramFaults)
+            digest += strFormat(",{}", faults);
+    }
+    return digest;
+}
+
+/** What one server produced for the fixed identity request set. */
+struct IdentityRun
+{
+    std::vector<std::string> sweeps;
+    std::vector<std::vector<int>> classes;
+};
+
+/** Serve the fixed request set on a fresh server; harsh iff @a noise. */
+IdentityRun
+runIdentitySet(const std::optional<pmbus::NoiseConfig> &noise,
+               std::uint64_t seed)
+{
+    serve::ServerConfig config;
+    config.workers = 2;
+    config.queueCapacity = 64;
+    config.noise = noise;
+    config.modelProvider = fixedProvider();
+    config.seed = seed;
+    serve::UvoltServer server(std::move(config));
+
+    const std::vector<std::pair<std::string, harness::PatternSpec>>
+        shapes{{"ZC702", harness::PatternSpec::allOnes()},
+               {"ZC702", harness::PatternSpec::fixed(0xAAAA)},
+               {"KC705-A", harness::PatternSpec::allOnes()}};
+    std::vector<std::future<Expected<serve::CharacterizeResponse>>>
+        characterizes;
+    for (const auto &[platform, pattern] : shapes) {
+        serve::CharacterizeRequest request;
+        request.platform = platform;
+        request.pattern = pattern;
+        request.runsPerLevel = 3;
+        characterizes.push_back(
+            server.submitCharacterize(std::move(request)).orFatal());
+    }
+    std::vector<std::future<Expected<serve::ClassifyResponse>>>
+        classifies;
+    for (std::uint64_t i = 0; i < 12; ++i)
+        classifies.push_back(
+            server.submitClassify(forestRequest(16, 100 + i, 850))
+                .orFatal());
+
+    IdentityRun run;
+    for (auto &future : characterizes)
+        run.sweeps.push_back(sweepDigest(future.get().orFatal().sweep));
+    for (auto &future : classifies)
+        run.classes.push_back(future.get().orFatal().classes);
+    server.stop();
+    return run;
+}
+
+/** Everything one load-phase client thread observed. */
+struct ClientLedger
+{
+    std::uint64_t submitted = 0;   ///< admitted by the server
+    std::uint64_t okResponses = 0; ///< futures resolving with a value
+    std::uint64_t errors = 0;      ///< futures resolving with an Error
+    std::uint64_t queueFullRetries = 0;
+    std::uint64_t shedRefusals = 0;
+    std::vector<double> latenciesMs; ///< successful requests only
+};
+
+double
+msSince(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** A single-valued uvolt-bench-v1 row (one measured quantity). */
+bench::BenchResult
+valueRow(const std::string &name, double ns)
+{
+    bench::BenchResult result;
+    result.name = name;
+    result.iterationsPerRepeat = 1;
+    result.repeats = 1;
+    result.wall = bench::summarize({ns});
+    result.cpu = bench::summarize({});
+    result.itersPerSec = ns > 0.0 ? 1e9 / ns : 0.0;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Serving-daemon soak: identity under fault storms, "
+                  "then closed-loop load with exactly-once accounting");
+    cli.addInt("requests", 1200, "total requests in the load phase");
+    cli.addInt("clients", 8, "closed-loop client threads");
+    cli.addInt("workers", 4, "server worker threads");
+    cli.addInt("queue-capacity", 48, "admission-control queue bound");
+    cli.addInt("seed", 7, "base seed for the request mix");
+    cli.addBool("noise", "attach the harsh-environment injector");
+    cli.addDouble("noise-p", 0.02, "per-channel injection probability");
+    cli.addBool("skip-identity", "load phase only (quick runs)");
+    cli.addString("out", "results/ext_serve_bench.json",
+                  "uvolt-bench-v1 output path");
+    const auto parsed = cli.tryParse(argc, argv);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "ext_serve: %s\n",
+                     parsed.error().message.c_str());
+        return 2;
+    }
+    if (!parsed.value())
+        return 0; // --help
+    const auto requests =
+        static_cast<std::uint64_t>(cli.getInt("requests"));
+    const auto clients = static_cast<std::size_t>(cli.getInt("clients"));
+    const auto seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+    const bool noisy = cli.getBool("noise");
+    const double noise_p = cli.getDouble("noise-p");
+
+    bool verdict_ok = true;
+
+    // --- phase 1: bit-identity through the service boundary -------------
+    if (!cli.getBool("skip-identity")) {
+        std::printf("# phase 1: identity, injector off vs on "
+                    "(p = %.3f per channel)\n",
+                    noise_p);
+        const IdentityRun quiet = runIdentitySet(std::nullopt, seed);
+        pmbus::NoiseConfig storm =
+            pmbus::NoiseConfig::harsh(11, noise_p);
+        storm.spuriousCrashProb = 0.2;
+        const IdentityRun stormy = runIdentitySet(storm, seed);
+        const bool identical = quiet.sweeps == stormy.sweeps &&
+            quiet.classes == stormy.classes;
+        std::printf("  %zu sweeps + %zu classify batches: %s\n",
+                    quiet.sweeps.size(), quiet.classes.size(),
+                    identical ? "bit-identical" : "DIVERGED");
+        verdict_ok = verdict_ok && identical;
+    }
+
+    // --- phase 2: closed-loop load ---------------------------------------
+    std::printf("\n# phase 2: closed-loop load (%llu requests, %zu "
+                "clients, %ld workers, queue %ld%s)\n",
+                static_cast<unsigned long long>(requests), clients,
+                cli.getInt("workers"), cli.getInt("queue-capacity"),
+                noisy ? ", noisy" : "");
+    serve::ServerConfig config;
+    config.workers = static_cast<std::size_t>(cli.getInt("workers"));
+    config.queueCapacity =
+        static_cast<std::size_t>(cli.getInt("queue-capacity"));
+    if (noisy)
+        config.noise = pmbus::NoiseConfig::harsh(seed + 1, noise_p);
+    config.modelProvider = fixedProvider();
+    config.seed = seed;
+    serve::UvoltServer server(std::move(config));
+
+    // One pre-verified request: the served classes must equal a direct
+    // evaluation of the same model on the same samples.
+    {
+        const serve::ClassifyRequest probe = forestRequest(32, 999, 850);
+        std::vector<int> expected;
+        const data::Dataset set = data::makeForestLike(32, 999);
+        for (std::size_t s = 0; s < 32; ++s)
+            expected.push_back(fixedNet()->classify(set.sample(s)));
+        const auto response =
+            server.submitClassify(probe).orFatal().get().orFatal();
+        const bool correct = response.classes == expected;
+        std::printf("  served classes match direct evaluation: %s\n",
+                    correct ? "yes" : "NO");
+        verdict_ok = verdict_ok && correct;
+    }
+
+    std::atomic<std::uint64_t> next{0};
+    std::vector<ClientLedger> ledgers(clients);
+    const auto load_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    for (std::size_t c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+            ClientLedger &ledger = ledgers[c];
+            for (std::uint64_t i = next.fetch_add(1); i < requests;
+                 i = next.fetch_add(1)) {
+                const auto start = std::chrono::steady_clock::now();
+                std::future<Expected<serve::ClassifyResponse>> classify;
+                std::future<Expected<serve::CharacterizeResponse>> sweep;
+                const bool is_sweep = i % 64 == 0;
+                for (;;) {
+                    Error refusal;
+                    if (is_sweep) {
+                        serve::CharacterizeRequest request;
+                        request.platform =
+                            i % 128 == 0 ? "ZC702" : "KC705-A";
+                        request.runsPerLevel = 3;
+                        auto admitted = server.submitCharacterize(
+                            std::move(request));
+                        if (admitted.ok()) {
+                            sweep = admitted.take();
+                            break;
+                        }
+                        refusal = admitted.error();
+                    } else {
+                        serve::ClassifyRequest request = forestRequest(
+                            8, seed * 100003 + i, 850);
+                        request.priority = i % 8 == 7
+                            ? serve::Priority::low
+                            : serve::Priority::normal;
+                        // A sprinkling of already-hopeless deadlines:
+                        // they must fail cleanly, not leak.
+                        if (i % 97 == 13)
+                            request.deadlineMs = 1e-3;
+                        auto admitted =
+                            server.submitClassify(std::move(request));
+                        if (admitted.ok()) {
+                            classify = admitted.take();
+                            break;
+                        }
+                        refusal = admitted.error();
+                    }
+                    if (refusal.code == Errc::loadShed) {
+                        ++ledger.shedRefusals;
+                        break; // a synchronous, final refusal
+                    }
+                    // Closed loop: a full queue means back off and
+                    // retry the same request.
+                    ++ledger.queueFullRetries;
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(200));
+                }
+                const bool admitted = sweep.valid() || classify.valid();
+                if (!admitted)
+                    continue;
+                ++ledger.submitted;
+                const bool ok = is_sweep ? sweep.get().ok()
+                                         : classify.get().ok();
+                if (ok) {
+                    ++ledger.okResponses;
+                    ledger.latenciesMs.push_back(msSince(start));
+                } else {
+                    ++ledger.errors;
+                }
+            }
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+    server.drain();
+    const double load_ms = msSince(load_start);
+    const auto stats = server.stats();
+    const std::size_t depth_after_drain = server.queueDepth();
+    server.stop();
+
+    // --- the exactly-once ledger -----------------------------------------
+    ClientLedger total;
+    std::vector<double> latencies;
+    for (const auto &ledger : ledgers) {
+        total.submitted += ledger.submitted;
+        total.okResponses += ledger.okResponses;
+        total.errors += ledger.errors;
+        total.queueFullRetries += ledger.queueFullRetries;
+        total.shedRefusals += ledger.shedRefusals;
+        latencies.insert(latencies.end(), ledger.latenciesMs.begin(),
+                         ledger.latenciesMs.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const auto percentile = [&](double p) {
+        if (latencies.empty())
+            return 0.0;
+        const auto index = static_cast<std::size_t>(
+            p * static_cast<double>(latencies.size() - 1));
+        return latencies[index];
+    };
+    const double p50_ms = percentile(0.50);
+    const double p99_ms = percentile(0.99);
+    const double throughput = load_ms > 0.0
+        ? 1000.0 * static_cast<double>(stats.completed) / load_ms
+        : 0.0;
+
+    // +1 for the pre-verified probe request, admitted outside the pool.
+    const bool balanced = stats.admitted == total.submitted + 1 &&
+        stats.completed + stats.failed == stats.admitted &&
+        total.okResponses + total.errors == total.submitted &&
+        depth_after_drain == 0;
+    verdict_ok = verdict_ok && balanced;
+
+    TextTable table({"quantity", "value"});
+    table.addRow({"admitted", std::to_string(stats.admitted)});
+    table.addRow({"completed", std::to_string(stats.completed)});
+    table.addRow({"failed", std::to_string(stats.failed)});
+    table.addRow({"  deadline exceeded",
+                  std::to_string(stats.deadlineExceeded)});
+    table.addRow({"rejected (queue full)",
+                  std::to_string(stats.rejected)});
+    table.addRow({"shed (degraded)", std::to_string(stats.shed)});
+    table.addRow({"transient retries", std::to_string(stats.retried)});
+    table.addRow({"coalesced blocks",
+                  std::to_string(stats.coalescedBlocks)});
+    table.addRow({"client queue-full retries",
+                  std::to_string(total.queueFullRetries)});
+    table.addRow({"wall clock (ms)", fmtDouble(load_ms, 1)});
+    table.addRow({"throughput (req/s)", fmtDouble(throughput, 1)});
+    table.addRow({"e2e p50 (ms)", fmtDouble(p50_ms, 2)});
+    table.addRow({"e2e p99 (ms)", fmtDouble(p99_ms, 2)});
+    table.addRow({"exactly-once ledger",
+                  balanced ? "balanced" : "IMBALANCED"});
+    table.print(std::cout);
+    writeCsv(table, "results/ext_serve.csv");
+
+    if (!balanced)
+        std::fprintf(stderr,
+                     "IMBALANCED: admitted %llu, responded %llu, "
+                     "client-side %llu, queue depth %zu\n",
+                     static_cast<unsigned long long>(stats.admitted),
+                     static_cast<unsigned long long>(stats.completed +
+                                                     stats.failed),
+                     static_cast<unsigned long long>(total.okResponses +
+                                                     total.errors),
+                     depth_after_drain);
+
+    // --- uvolt-bench-v1 export for the regression gate -------------------
+    const std::vector<bench::BenchResult> results{
+        valueRow("SV_ServeE2EP50", p50_ms * 1e6),
+        valueRow("SV_ServeE2EP99", p99_ms * 1e6),
+        valueRow("SV_ServeReqCost",
+                 stats.completed ? load_ms * 1e6 /
+                         static_cast<double>(stats.completed)
+                                 : 0.0),
+    };
+    bench::BenchOptions options;
+    options.repeats = 1;
+    options.minTimeMs = 0.0;
+    const std::string out = cli.getString("out");
+    if (!bench::writeBenchJson(results, options, out)) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 2;
+    }
+    std::printf("\nlatency rows -> %s (gate: "
+                "scripts/check_regression.py)\n",
+                out.c_str());
+    std::printf("shape: every admitted request answered exactly once, "
+                "queue drained to\nempty, and the noisy identity run "
+                "byte-equal to the quiet one\n");
+    return verdict_ok ? 0 : 1;
+}

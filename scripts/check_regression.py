@@ -13,7 +13,9 @@ benchmark present in both documents. A benchmark fails when
 
 with `tolerance` the global --tolerance (default 0.5, i.e. a 50 % slack
 for machine-to-machine noise — an injected 2x slowdown still trips it)
-unless overridden per benchmark with --override NAME=RATIO. Benchmarks
+unless overridden per benchmark with --override NAME=RATIO (the
+DEFAULT_OVERRIDES table below ships repo-default widenings, e.g. for
+the serving daemon's tail-latency rows; the CLI wins). Benchmarks
 present in only one document are listed as added/removed and do not
 fail the gate. Exit status: 0 all pass, 1 regression(s), 2 bad input.
 
@@ -28,6 +30,17 @@ import sys
 
 BENCH_SCHEMA = "uvolt-bench-v1"
 MANIFEST_SCHEMA = "uvolt-run-manifest-v1"
+
+# Per-benchmark tolerances that ship with the repo. Tail latency of the
+# serving daemon is inherently noisier than a calibrated micro-bench
+# minimum: the p50/p99 rows come from ONE closed-loop run whose tail is
+# set by whichever characterize campaigns land in it, so they get a
+# wider band than the global default. A command-line --override for the
+# same name wins over this table.
+DEFAULT_OVERRIDES = {
+    "SV_ServeE2EP50": 1.5,
+    "SV_ServeE2EP99": 1.5,
+}
 
 
 def load(path):
@@ -85,7 +98,7 @@ def main():
                              "(sanitizer builds)")
     args = parser.parse_args()
 
-    overrides = {}
+    overrides = dict(DEFAULT_OVERRIDES)
     for item in args.override:
         name, _, ratio = item.partition("=")
         if not ratio:

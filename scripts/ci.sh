@@ -36,6 +36,17 @@ echo "== perf gate: bench_all vs committed baseline =="
 python3 scripts/check_regression.py \
     bench/BENCH_baseline.json build/BENCH_uvolt.json
 
+echo "== serve gate: closed-loop latency vs committed baseline =="
+# The serving daemon's identity phase (injector on vs off must be
+# bit-identical) and exactly-once ledger are the binary's exit code;
+# the p50/p99/req-cost rows it exports are gated like any other bench
+# (per-row tolerance widenings live in check_regression.py's
+# DEFAULT_OVERRIDES — tail latency is noisier than a calibrated
+# micro-bench minimum).
+./build/bench/ext_serve --out build/BENCH_serve.json
+python3 scripts/check_regression.py \
+    bench/BENCH_baseline.json build/BENCH_serve.json
+
 echo "== golden figures drift check =="
 # Only when the figure CSVs have been regenerated (the figure benches
 # are not part of tier 1); run the fig*/tab* binaries to refresh them.
@@ -96,6 +107,20 @@ UVOLT_TELEMETRY=ON ./build-tsan/tests/telemetry_test
 ./build-tsan/tests/resilience_test
 UVOLT_TELEMETRY=ON ./build-tsan/tests/nn_test \
     --gtest_filter='BatchedEval.*'
+
+echo "== serve soak: TSan + fault injector, exactly-once =="
+# The whole serving stack under ThreadSanitizer with the harsh
+# environment on: closed-loop clients, admission races, the coalescer,
+# cooperative cancellation. The binary exits nonzero if any admitted
+# request is lost or duplicated or the drained queue is not empty —
+# and TSan fails the leg on any data race it sees along the way.
+# Request count is sized so the leg stays around half a minute under
+# TSan's ~10x slowdown; latency rows are not gated here (sanitizer
+# timings are incomparable).
+cmake --build build-tsan -j "$jobs" --target ext_serve serve_test
+./build-tsan/tests/serve_test
+./build-tsan/bench/ext_serve --noise --skip-identity \
+    --requests 800 --clients 6 --out build-tsan/BENCH_serve.json
 
 echo "== telemetry compiled out (-DUVOLT_TELEMETRY=OFF) =="
 # The instrumented call sites must compile and pass with the layer

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "util/fsio.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
 
@@ -134,17 +135,14 @@ saveCheckpointFile(const SweepCheckpoint &checkpoint,
         return telemetry::TraceArgs{{"path", path}};
     });
     telemetry::Registry::global().counter("checkpoint.saves").increment();
-    const std::string temp = path + ".tmp";
-    {
-        std::ofstream out(temp);
-        if (!out)
-            fatal("cannot write checkpoint file '{}'", temp);
-        saveCheckpoint(checkpoint, out);
-        if (!out.good())
-            fatal("I/O error writing checkpoint file '{}'", temp);
-    }
-    if (std::rename(temp.c_str(), path.c_str()) != 0)
-        fatal("cannot move checkpoint into place at '{}'", path);
+    std::ostringstream buffer;
+    saveCheckpoint(checkpoint, buffer);
+    if (!buffer.good())
+        fatal("I/O error serializing checkpoint for '{}'", path);
+    if (auto written = writeFileAtomic(path, buffer.str(),
+                                       Errc::badCheckpoint);
+        !written.ok())
+        fatal("{}", written.error().message);
 }
 
 Expected<SweepCheckpoint>

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fsio.hh"
 #include "util/logging.hh"
 
 namespace uvolt::harness
@@ -13,15 +14,7 @@ bool
 saveFvm(const Fvm &fvm, const fpga::Floorplan &floorplan,
         const std::string &path)
 {
-    std::error_code ec;
-    std::filesystem::path p(path);
-    if (p.has_parent_path())
-        std::filesystem::create_directories(p.parent_path(), ec);
-    std::ofstream out(path);
-    if (!out) {
-        warn("saveFvm: cannot write '{}'", path);
-        return false;
-    }
+    std::ostringstream out;
     out << "#uvolt-fvm v1 " << fvm.platform() << ' '
         << floorplan.width() << ' ' << floorplan.height() << ' '
         << fvm.bramCount() << '\n';
@@ -29,7 +22,16 @@ saveFvm(const Fvm &fvm, const fpga::Floorplan &floorplan,
         const fpga::Site site = floorplan.siteOf(b);
         out << site.x << ',' << site.y << ',' << fvm.faultsOf(b) << '\n';
     }
-    return static_cast<bool>(out);
+    // Crash-atomic: a concurrent reader (or a process killed mid-save)
+    // must see either the previous complete map or the new one — a
+    // truncated file would count as a corrupt-cache re-characterization.
+    if (auto written = writeFileAtomic(path, out.str(),
+                                       Errc::corruptCache);
+        !written.ok()) {
+        warn("saveFvm: {}", written.error().message);
+        return false;
+    }
+    return true;
 }
 
 Expected<void>

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "util/format.hh"
+#include "util/fsio.hh"
 #include "util/json.hh"
 
 namespace uvolt::harness
@@ -220,22 +221,15 @@ Ledger::record(const RunManifest &manifest) const
     std::filesystem::create_directories(directory_, ec);
     const std::string document = manifest.toJson();
 
-    auto write = [&](const std::string &path) -> Expected<void> {
-        std::ofstream out(path);
-        if (!out)
-            return makeError(Errc::cacheMiss,
-                             "cannot open '{}' for writing", path);
-        out << document;
-        if (!out)
-            return makeError(Errc::cacheMiss, "short write to '{}'",
-                             path);
-        return {};
-    };
-    if (auto latest = write(latestPath()); !latest.ok())
+    // Crash-atomic: a spurious crash mid-record must never leave a
+    // truncated manifest that a later RunManifest::load() chokes on.
+    if (auto latest = writeFileAtomic(latestPath(), document);
+        !latest.ok())
         return latest;
     if (!manifest.runId.empty()) {
-        if (auto history = write(strFormat("{}/{}.json", directory_,
-                                           manifest.runId));
+        if (auto history = writeFileAtomic(
+                strFormat("{}/{}.json", directory_, manifest.runId),
+                document);
             !history.ok())
             return history;
     }

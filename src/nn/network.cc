@@ -269,29 +269,28 @@ namespace
  * dataset order; @a a and @a b are caller-owned scratch, resized here
  * so repeat calls reuse their capacity.
  */
+/** Size the scratch matrices for a @a batch-column pass of @a net. */
 void
-batchLogits(const Network &net, std::span<const float> inputs, int batch,
-            std::vector<float> &a, std::vector<float> &b)
+sizeBatchScratch(const Network &net, std::size_t columns,
+                 std::vector<float> &a, std::vector<float> &b)
 {
-    const std::size_t columns = static_cast<std::size_t>(batch);
-    const std::size_t features =
-        static_cast<std::size_t>(net.layerSizes().front());
-    if (inputs.size() != features * columns)
-        fatal("batchLogits: {} inputs for {} samples of width {}",
-              inputs.size(), batch, features);
     std::size_t max_width = 0;
     for (int width : net.layerSizes())
         max_width = std::max(max_width, static_cast<std::size_t>(width));
     a.resize(max_width * columns);
     b.resize(max_width * columns);
+}
 
-    // Transpose sample-major rows into the feature-major batch layout.
-    for (std::size_t s = 0; s < columns; ++s) {
-        const float *row = inputs.data() + s * features;
-        for (std::size_t i = 0; i < features; ++i)
-            a[i * columns + s] = row[i];
-    }
-
+/**
+ * Run the whole stack on the feature-major activations already gathered
+ * into @a a; leaves the final layer's pre-softmax logits in @a a (class
+ * c of sample s at a[c * batch + s]).
+ */
+void
+runBatchLayers(const Network &net, int batch, std::vector<float> &a,
+               std::vector<float> &b)
+{
+    const std::size_t columns = static_cast<std::size_t>(batch);
     for (int l = 0; l < net.layerCount(); ++l) {
         const DenseLayer &layer = net.layer(l);
         const std::size_t in =
@@ -306,6 +305,28 @@ batchLogits(const Network &net, std::span<const float> inputs, int batch,
         }
         a.swap(b);
     }
+}
+
+void
+batchLogits(const Network &net, std::span<const float> inputs, int batch,
+            std::vector<float> &a, std::vector<float> &b)
+{
+    const std::size_t columns = static_cast<std::size_t>(batch);
+    const std::size_t features =
+        static_cast<std::size_t>(net.layerSizes().front());
+    if (inputs.size() != features * columns)
+        fatal("batchLogits: {} inputs for {} samples of width {}",
+              inputs.size(), batch, features);
+    sizeBatchScratch(net, columns, a, b);
+
+    // Transpose sample-major rows into the feature-major batch layout.
+    for (std::size_t s = 0; s < columns; ++s) {
+        const float *row = inputs.data() + s * features;
+        for (std::size_t i = 0; i < features; ++i)
+            a[i * columns + s] = row[i];
+    }
+
+    runBatchLayers(net, batch, a, b);
 }
 
 /**
@@ -357,6 +378,40 @@ Network::classifyBatch(std::span<const float> inputs,
               classes.size(), batch);
     std::vector<float> a, b;
     batchLogits(*this, inputs, batch, a, b);
+    std::vector<float> column(static_cast<std::size_t>(sizes_.back()));
+    for (int s = 0; s < batch; ++s)
+        classes[static_cast<std::size_t>(s)] =
+            classifyColumn(a, batch, s, column);
+}
+
+void
+Network::classifyScattered(std::span<const std::span<const float>> samples,
+                           std::span<int> classes) const
+{
+    if (classes.size() != samples.size())
+        fatal("classifyScattered: {} class slots for {} samples",
+              classes.size(), samples.size());
+    if (samples.empty())
+        return;
+    const std::size_t columns = samples.size();
+    const std::size_t features = static_cast<std::size_t>(sizes_.front());
+    std::vector<float> a, b;
+    sizeBatchScratch(*this, columns, a, b);
+
+    // Gather the scattered rows straight into the feature-major layout
+    // (the same transpose batchLogits does from a contiguous block).
+    for (std::size_t s = 0; s < columns; ++s) {
+        if (samples[s].size() != features)
+            fatal("classifyScattered: sample {} has {} features, "
+                  "expected {}",
+                  s, samples[s].size(), features);
+        const float *row = samples[s].data();
+        for (std::size_t i = 0; i < features; ++i)
+            a[i * columns + s] = row[i];
+    }
+
+    const int batch = static_cast<int>(columns);
+    runBatchLayers(*this, batch, a, b);
     std::vector<float> column(static_cast<std::size_t>(sizes_.back()));
     for (int s = 0; s < batch; ++s)
         classes[static_cast<std::size_t>(s)] =

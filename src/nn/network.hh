@@ -174,6 +174,21 @@ class Network
                        std::span<int> classes, int batch) const;
 
     /**
+     * Scatter-gather variant of classifyBatch() for request coalescing:
+     * each entry of @a samples is one sample's feature vector, living
+     * wherever its owner put it (a serving layer packs one block from
+     * many clients' buffers without copying them into a contiguous
+     * staging area first). The samples are gathered straight into the
+     * kernel's feature-major layout and run through the same batched
+     * stack, so the result is bit-identical to classify() per sample
+     * and to classifyBatch() on a contiguous copy. @a classes must
+     * have samples.size() slots; every sample must have input-layer
+     * width.
+     */
+    void classifyScattered(std::span<const std::span<const float>> samples,
+                           std::span<int> classes) const;
+
+    /**
      * Classification error on a dataset (fraction mis-classified),
      * computed by the batched engine with default options — see the
      * EvalOptions overload. Bit-identical to evaluateErrorScalar().

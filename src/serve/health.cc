@@ -1,0 +1,117 @@
+#include "serve/health.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace uvolt::serve
+{
+
+const char *
+serveStateName(ServeState state)
+{
+    switch (state) {
+      case ServeState::normal:
+        return "normal";
+      case ServeState::degraded:
+        return "degraded";
+      case ServeState::recovering:
+        return "recovering";
+    }
+    panic("serveStateName: invalid state {}", static_cast<int>(state));
+}
+
+double
+pressureOf(harness::GovernorHealth health)
+{
+    switch (health) {
+      case harness::GovernorHealth::ok:
+        return 0.0;
+      case harness::GovernorHealth::heldUncertain:
+        return 1.0;
+      case harness::GovernorHealth::recovered:
+        return 2.0;
+    }
+    panic("pressureOf: invalid GovernorHealth {}",
+          static_cast<int>(health));
+}
+
+HealthTracker::HealthTracker(HealthConfig config)
+    : config_(config)
+{
+    if (config_.window == 0)
+        fatal("HealthTracker needs a nonzero window");
+    config_.minSamples = std::max<std::size_t>(1, config_.minSamples);
+}
+
+void
+HealthTracker::observe(double pressure)
+{
+    const bool healthy = pressure < config_.faultyThreshold;
+    healthy_.push_back(healthy);
+    healthyCount_ += healthy ? 1 : 0;
+    if (healthy_.size() > config_.window) {
+        healthyCount_ -= healthy_.front() ? 1 : 0;
+        healthy_.pop_front();
+    }
+    ++observations_;
+    if (observations_ < config_.minSamples)
+        return;
+
+    const double s = score();
+    switch (state_) {
+      case ServeState::normal:
+        if (s < config_.degradeBelow) {
+            state_ = ServeState::degraded;
+            floorRaiseMv_ = std::min(config_.maxFloorRaiseMv,
+                                     floorRaiseMv_ +
+                                         config_.setpointStepMv);
+            recordTransition();
+        }
+        break;
+      case ServeState::degraded:
+        if (s >= config_.recoverAbove) {
+            state_ = ServeState::recovering;
+            recordTransition();
+        } else if (!healthy &&
+                   floorRaiseMv_ < config_.maxFloorRaiseMv) {
+            // Sustained pressure: keep backing the operating point off
+            // toward the safe region, one regulator step at a time.
+            floorRaiseMv_ = std::min(config_.maxFloorRaiseMv,
+                                     floorRaiseMv_ +
+                                         config_.setpointStepMv);
+            recordTransition();
+        }
+        break;
+      case ServeState::recovering:
+        if (s < config_.degradeBelow) {
+            state_ = ServeState::degraded;
+            recordTransition();
+        } else if (healthy) {
+            floorRaiseMv_ = std::max(0, floorRaiseMv_ -
+                                            config_.setpointStepMv);
+            if (floorRaiseMv_ == 0)
+                state_ = ServeState::normal;
+            recordTransition();
+        }
+        break;
+    }
+}
+
+double
+HealthTracker::score() const
+{
+    if (healthy_.empty())
+        return 1.0;
+    return static_cast<double>(healthyCount_) /
+           static_cast<double>(healthy_.size());
+}
+
+void
+HealthTracker::recordTransition()
+{
+    transitions_.push_back(
+        HealthTransition{observations_, state_, floorRaiseMv_});
+}
+
+} // namespace uvolt::serve

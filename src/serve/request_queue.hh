@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Bounded MPMC queue with admission control.
+ *
+ * The serving layer's first line of defense: a producer that finds the
+ * queue full is told so immediately (Errc::queueFull) instead of being
+ * blocked for an unbounded time behind a characterization campaign.
+ * Consumers block on pop() — that is the worker's idle state — and are
+ * all released by close(), after which pop() drains the remaining items
+ * and then reports end-of-stream so a server can fail queued requests
+ * explicitly rather than dropping them.
+ *
+ * A plain mutex + condition variable, like ThreadPool: serving items
+ * are coarse (whole characterize/classify requests), so lock-free
+ * cleverness would buy nothing and cost TSan-auditable simplicity.
+ */
+
+#ifndef UVOLT_SERVE_REQUEST_QUEUE_HH
+#define UVOLT_SERVE_REQUEST_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/error.hh"
+
+namespace uvolt::serve
+{
+
+/** Bounded FIFO with reject-when-full admission. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        if (capacity_ == 0)
+            fatal("BoundedQueue needs a nonzero capacity");
+    }
+
+    /**
+     * Admit one item, or refuse without blocking: queueFull at
+     * capacity, serverStopped after close().
+     */
+    Expected<void>
+    tryPush(T item)
+    {
+        {
+            std::unique_lock lock(mutex_);
+            if (closed_) {
+                return makeError(Errc::serverStopped,
+                                 "queue closed; not accepting work");
+            }
+            if (items_.size() >= capacity_) {
+                return makeError(Errc::queueFull,
+                                 "queue at capacity ({} items)",
+                                 capacity_);
+            }
+            items_.push_back(std::move(item));
+        }
+        ready_.notify_one();
+        return {};
+    }
+
+    /**
+     * Take the oldest item, blocking while the queue is open and empty.
+     * nullopt = closed and fully drained (consumer shutdown signal).
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock lock(mutex_);
+        ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /**
+     * Take the oldest item only if @a matches(front) — the coalescer's
+     * peek-and-pop: FIFO order is preserved because only the head is
+     * ever considered. Never blocks; nullopt when empty or no match.
+     */
+    template <typename Pred>
+    std::optional<T>
+    tryPopMatching(Pred &&matches)
+    {
+        std::unique_lock lock(mutex_);
+        if (items_.empty() || !matches(items_.front()))
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /** Stop admitting; wake every blocked consumer. Idempotent. */
+    void
+    close()
+    {
+        {
+            std::unique_lock lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        std::unique_lock lock(mutex_);
+        return closed_;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::unique_lock lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace uvolt::serve
+
+#endif // UVOLT_SERVE_REQUEST_QUEUE_HH

@@ -1,0 +1,816 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "fpga/floorplan.hh"
+#include "fpga/platform.hh"
+#include "harness/checkpoint.hh"
+#include "harness/fvm.hh"
+#include "harness/ledger.hh"
+#include "util/format.hh"
+#include "util/rng.hh"
+#include "util/telemetry.hh"
+
+namespace uvolt::serve
+{
+
+namespace
+{
+
+struct ServeMetrics
+{
+    telemetry::Counter &admitted =
+        telemetry::Registry::global().counter("serve.admitted");
+    telemetry::Counter &rejected =
+        telemetry::Registry::global().counter("serve.rejected");
+    telemetry::Counter &degraded =
+        telemetry::Registry::global().counter("serve.degraded");
+    telemetry::Counter &deadlineExceeded =
+        telemetry::Registry::global().counter("serve.deadline_exceeded");
+    telemetry::Counter &retried =
+        telemetry::Registry::global().counter("serve.retried");
+    telemetry::Counter &completed =
+        telemetry::Registry::global().counter("serve.completed");
+    telemetry::Counter &failed =
+        telemetry::Registry::global().counter("serve.failed");
+    telemetry::Counter &cancelled =
+        telemetry::Registry::global().counter("serve.cancelled");
+    telemetry::Counter &coalescedBlocks = telemetry::Registry::global()
+        .counter("serve.coalesced_blocks");
+    telemetry::Counter &resumes =
+        telemetry::Registry::global().counter("serve.resumes");
+    telemetry::Gauge &queueDepth =
+        telemetry::Registry::global().gauge("serve.queue_depth");
+    telemetry::Histogram &queueWaitMs =
+        telemetry::Registry::global().histogram(
+            "serve.queue_wait_ms",
+            {0.05, 0.1, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
+             2000, 5000});
+    telemetry::Histogram &e2eMs =
+        telemetry::Registry::global().histogram(
+            "serve.e2e_ms",
+            {0.05, 0.1, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
+             2000, 5000});
+};
+
+ServeMetrics &
+serveMetrics()
+{
+    static ServeMetrics metrics;
+    return metrics;
+}
+
+/** Fault classes a backoff-and-retry can plausibly clear. */
+bool
+transientErrc(Errc code)
+{
+    switch (code) {
+      case Errc::crashDetected:
+      case Errc::linkExhausted:
+      case Errc::pmbusExhausted:
+      case Errc::verifyExhausted:
+      case Errc::recoveryExhausted:
+      case Errc::badCheckpoint:
+        return true;
+      default:
+        return false;
+    }
+}
+
+double
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+/** Canonical request description the per-request seed digests. */
+std::string
+canonicalCharacterize(const CharacterizeRequest &request)
+{
+    return strFormat("characterize;{};{};t{:.1f};runs={}",
+                     request.platform, request.pattern.label(),
+                     request.ambientC, request.runsPerLevel);
+}
+
+/** One per-request trace span covering queue wait + execution. */
+void
+recordRequestSpan(const char *kind, std::uint64_t id, double e2e_ms,
+                  bool ok)
+{
+    if (!telemetry::Telemetry::enabled())
+        return;
+    auto &registry = telemetry::Registry::global();
+    const auto duration =
+        static_cast<std::uint64_t>(std::max(0.0, e2e_ms) * 1e6);
+    const std::uint64_t end = registry.nowNs();
+    registry.recordSpan("serve.request",
+                        end > duration ? end - duration : 0, duration,
+                        {{"kind", kind},
+                         {"id", std::to_string(id)},
+                         {"ok", ok ? "1" : "0"}});
+}
+
+} // namespace
+
+UvoltServer::UvoltServer(ServerConfig config)
+    : config_(std::move(config)), queue_(std::max<std::size_t>(
+          1, config_.queueCapacity)),
+      health_(config_.health)
+{
+    if (config_.workers == 0)
+        fatal("UvoltServer needs at least one worker");
+    config_.maxAttempts = std::max(1, config_.maxAttempts);
+    config_.sliceLevels = std::max(1, config_.sliceLevels);
+    workers_.reserve(config_.workers);
+    for (std::size_t i = 0; i < config_.workers; ++i) {
+        workers_.emplace_back(
+            [this, name = strFormat("serve-worker-{}", i)]() mutable {
+                telemetry::setCurrentThreadName(std::move(name));
+                workerLoop();
+            });
+    }
+}
+
+UvoltServer::~UvoltServer()
+{
+    stop(StopMode::now);
+}
+
+template <typename Request, typename Response>
+Expected<std::future<Expected<Response>>>
+UvoltServer::admit(Request request)
+{
+    if (!accepting_.load(std::memory_order_relaxed)) {
+        return makeError(Errc::serverStopped,
+                         "server is draining or stopped");
+    }
+    if (request.priority == Priority::low) {
+        std::unique_lock lock(healthMutex_);
+        if (health_.sheddingLowPriority()) {
+            lock.unlock();
+            {
+                std::unique_lock stats(statsMutex_);
+                ++stats_.shed;
+            }
+            serveMetrics().degraded.increment();
+            return makeError(Errc::loadShed,
+                             "degraded: shedding low-priority work");
+        }
+    }
+
+    Pending pending;
+    pending.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    pending.priority = request.priority;
+    pending.submitted = Clock::now();
+    pending.deadline =
+        request.deadlineMs > 0.0
+            ? pending.submitted +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          request.deadlineMs))
+            : Clock::time_point::max();
+
+    using Work = std::conditional_t<
+        std::is_same_v<Response, CharacterizeResponse>,
+        CharacterizeWork, ClassifyWork>;
+    Work work;
+    work.request = std::move(request);
+    auto future = work.promise.get_future();
+    pending.work = std::move(work);
+
+    // Counted before the push: a worker may pop and respond before this
+    // thread runs another instruction, and the drain predicate must
+    // never observe a response without its admission.
+    unresponded_.fetch_add(1, std::memory_order_acq_rel);
+    if (auto pushed = queue_.tryPush(std::move(pending));
+        !pushed.ok()) {
+        unresponded_.fetch_sub(1, std::memory_order_acq_rel);
+        if (pushed.error().code == Errc::queueFull) {
+            {
+                std::unique_lock stats(statsMutex_);
+                ++stats_.rejected;
+            }
+            serveMetrics().rejected.increment();
+        }
+        return pushed.error();
+    }
+    {
+        std::unique_lock stats(statsMutex_);
+        ++stats_.admitted;
+    }
+    serveMetrics().admitted.increment();
+    serveMetrics().queueDepth.set(
+        static_cast<double>(queue_.size()));
+    return future;
+}
+
+Expected<std::future<Expected<CharacterizeResponse>>>
+UvoltServer::submitCharacterize(CharacterizeRequest request)
+{
+    if (request.runsPerLevel <= 0)
+        fatal("submitCharacterize: runsPerLevel must be positive");
+    return admit<CharacterizeRequest, CharacterizeResponse>(
+        std::move(request));
+}
+
+Expected<std::future<Expected<ClassifyResponse>>>
+UvoltServer::submitClassify(ClassifyRequest request)
+{
+    if (request.sampleCount == 0 ||
+        request.samples.size() % request.sampleCount != 0) {
+        fatal("submitClassify: {} sample values do not divide into {} "
+              "samples",
+              request.samples.size(), request.sampleCount);
+    }
+    if (!config_.modelProvider)
+        fatal("submitClassify: server has no model provider");
+    return admit<ClassifyRequest, ClassifyResponse>(std::move(request));
+}
+
+void
+UvoltServer::drain()
+{
+    accepting_.store(false, std::memory_order_relaxed);
+    std::unique_lock lock(drainMutex_);
+    drainCv_.wait(lock, [this] {
+        return unresponded_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+UvoltServer::settled()
+{
+    if (unresponded_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::unique_lock lock(drainMutex_);
+        drainCv_.notify_all();
+    }
+}
+
+void
+UvoltServer::stop(StopMode mode)
+{
+    std::unique_lock stop_lock(stopMutex_);
+    if (joined_.load(std::memory_order_relaxed))
+        return;
+    accepting_.store(false, std::memory_order_relaxed);
+    if (mode == StopMode::drain)
+        drain();
+    else
+        stopNow_.store(true, std::memory_order_relaxed);
+    // Workers drain what is left: with stopNow_ set, every remaining
+    // item is answered serverStopped (checkpoints stay on disk for the
+    // next server); in drain mode the queue is already empty.
+    queue_.close();
+    for (auto &worker : workers_)
+        worker.join();
+    joined_.store(true, std::memory_order_relaxed);
+}
+
+ServerStats
+UvoltServer::stats() const
+{
+    std::unique_lock lock(statsMutex_);
+    return stats_;
+}
+
+void
+UvoltServer::observeFaultPressure(double pressure)
+{
+    std::unique_lock lock(healthMutex_);
+    health_.observe(pressure);
+}
+
+ServeState
+UvoltServer::healthState() const
+{
+    std::unique_lock lock(healthMutex_);
+    return health_.state();
+}
+
+int
+UvoltServer::floorRaiseMv() const
+{
+    std::unique_lock lock(healthMutex_);
+    return health_.floorRaiseMv();
+}
+
+std::vector<HealthTransition>
+UvoltServer::healthTransitions() const
+{
+    std::unique_lock lock(healthMutex_);
+    return health_.transitions();
+}
+
+void
+UvoltServer::workerLoop()
+{
+    while (auto item = queue_.pop()) {
+        serveMetrics().queueDepth.set(
+            static_cast<double>(queue_.size()));
+        process(std::move(*item));
+    }
+}
+
+void
+UvoltServer::respondExpired(Pending &item)
+{
+    auto error = makeError(Errc::deadlineExceeded,
+                           "request {} exceeded its deadline", item.id);
+    {
+        std::unique_lock lock(statsMutex_);
+        ++stats_.failed;
+        ++stats_.deadlineExceeded;
+    }
+    serveMetrics().failed.increment();
+    serveMetrics().deadlineExceeded.increment();
+    const double e2e = elapsedMs(item.submitted);
+    serveMetrics().e2eMs.observe(e2e);
+    std::visit(
+        [&](auto &work) {
+            recordRequestSpan(
+                std::is_same_v<std::decay_t<decltype(work)>,
+                               CharacterizeWork>
+                    ? "characterize"
+                    : "classify",
+                item.id, e2e, false);
+            work.promise.set_value(std::move(error));
+        },
+        item.work);
+    settled();
+}
+
+void
+UvoltServer::respondStopped(Pending &item)
+{
+    auto error = makeError(Errc::serverStopped,
+                           "request {} cancelled by server stop",
+                           item.id);
+    {
+        std::unique_lock lock(statsMutex_);
+        ++stats_.failed;
+        ++stats_.cancelled;
+    }
+    serveMetrics().failed.increment();
+    serveMetrics().cancelled.increment();
+    const double e2e = elapsedMs(item.submitted);
+    serveMetrics().e2eMs.observe(e2e);
+    std::visit(
+        [&](auto &work) {
+            recordRequestSpan(
+                std::is_same_v<std::decay_t<decltype(work)>,
+                               CharacterizeWork>
+                    ? "characterize"
+                    : "classify",
+                item.id, e2e, false);
+            work.promise.set_value(std::move(error));
+        },
+        item.work);
+    settled();
+}
+
+void
+UvoltServer::process(Pending item)
+{
+    serveMetrics().queueWaitMs.observe(elapsedMs(item.submitted));
+    if (stopRequested()) {
+        respondStopped(item);
+        return;
+    }
+    if (Clock::now() > item.deadline) {
+        respondExpired(item);
+        return;
+    }
+    if (std::holds_alternative<CharacterizeWork>(item.work)) {
+        finishCharacterize(item);
+        return;
+    }
+
+    // Coalesce: drain further classify requests for the same operating
+    // point off the queue head until one block is full. FIFO order is
+    // preserved — only the head is ever considered.
+    const auto &request = std::get<ClassifyWork>(item.work).request;
+    const int setpoint = request.setpointMv;
+    const std::size_t width = static_cast<std::size_t>(
+        config_.coalesceBatch > 0 ? config_.coalesceBatch
+                                  : nn::defaultEvalBatch());
+    std::vector<Pending> group;
+    std::size_t samples = request.sampleCount;
+    group.push_back(std::move(item));
+    while (samples < width && !stopRequested()) {
+        auto more = queue_.tryPopMatching([&](const Pending &next) {
+            const auto *work = std::get_if<ClassifyWork>(&next.work);
+            return work && work->request.setpointMv == setpoint;
+        });
+        if (!more)
+            break;
+        samples += std::get<ClassifyWork>(more->work).request.sampleCount;
+        serveMetrics().queueWaitMs.observe(elapsedMs(more->submitted));
+        group.push_back(std::move(*more));
+    }
+    serveMetrics().queueDepth.set(static_cast<double>(queue_.size()));
+    finishClassifyGroup(std::move(group));
+}
+
+Expected<CharacterizeResponse>
+UvoltServer::characterizeOnce(const CharacterizeRequest &request,
+                              std::uint64_t request_seed, int attempt,
+                              Clock::time_point deadline, bool &resumed)
+{
+    const fpga::PlatformSpec &spec = fpga::findPlatform(request.platform);
+    auto model = pmbus::sharedChipModel(spec);
+    pmbus::Board board(spec, model);
+    board.setAmbientC(request.ambientC);
+    if (config_.noise) {
+        // Idempotent by construction: the injector stream is a pure
+        // function of the request's own content digest, re-seeded per
+        // attempt exactly as the fleet engine does, so a retry (or a
+        // resubmission after restart) faces a reproducible environment.
+        pmbus::NoiseConfig noise = *config_.noise;
+        noise.seed = request_seed +
+                     static_cast<std::uint64_t>(attempt - 1) * 1000003ull;
+        board.attachNoise(noise);
+    }
+
+    harness::SweepOptions options;
+    options.pattern = request.pattern;
+    options.runsPerLevel = request.runsPerLevel;
+    options.collectPerBram = true;
+    options.recovery = config_.recovery;
+
+    // The in-memory checkpoint is what carries progress from one slice
+    // to the next; it is always wired. The on-disk serialization (and
+    // with it resume-after-restart) is what checkpointDir adds.
+    harness::SweepCheckpoint checkpoint;
+    options.checkpoint = &checkpoint;
+    std::string ckpt_path;
+    if (!config_.checkpointDir.empty()) {
+        const harness::FleetJob shape{request.platform, request.pattern,
+                                      request.ambientC, std::nullopt};
+        ckpt_path = strFormat("{}/{}-r{}.ckpt", config_.checkpointDir,
+                              shape.label(), request.runsPerLevel);
+        options.checkpointPath = ckpt_path;
+        if (std::filesystem::exists(ckpt_path)) {
+            auto loaded = harness::loadCheckpointFile(ckpt_path);
+            if (loaded.ok())
+                checkpoint = loaded.take();
+            else
+                warn("serve: ignoring unusable checkpoint '{}': {}",
+                     ckpt_path, loaded.error().message);
+        }
+    }
+    if (checkpoint.valid) {
+        resumed = true;
+        serveMetrics().resumes.increment();
+    }
+
+    // Time-sliced execution: at most sliceLevels voltage levels per
+    // tryRunCriticalSweep call, with the checkpoint flushed after every
+    // level — the cooperative cancellation points for deadlines and
+    // stop. A cancelled campaign leaves its checkpoint on disk, so the
+    // same request shape resumes bit-identically later.
+    for (;;) {
+        if (stopRequested()) {
+            return makeError(Errc::serverStopped,
+                             "characterize cancelled at slice boundary "
+                             "(checkpoint flushed)");
+        }
+        if (Clock::now() > deadline) {
+            return makeError(Errc::deadlineExceeded,
+                             "characterize deadline passed at slice "
+                             "boundary (checkpoint flushed)");
+        }
+        harness::SweepOptions slice = options;
+        slice.maxLevels = config_.sliceLevels;
+        auto result = harness::tryRunCriticalSweep(board, slice);
+        if (!result.ok())
+            return result.error();
+        if (!result.value().truncated) {
+            CharacterizeResponse response;
+            response.sweep = result.take();
+            if (!ckpt_path.empty()) {
+                std::error_code ec;
+                std::filesystem::remove(ckpt_path, ec);
+            }
+            return response;
+        }
+    }
+}
+
+void
+UvoltServer::finishCharacterize(Pending &item)
+{
+    auto &work = std::get<CharacterizeWork>(item.work);
+    const CharacterizeRequest &request = work.request;
+    const std::uint64_t request_seed = combineSeeds(
+        config_.seed,
+        hashSeed(harness::configDigest(canonicalCharacterize(request))));
+
+    // Serialize identical request shapes: they share a checkpoint file
+    // (that is what makes restart resume work), so two tenants asking
+    // for the same die+shape take turns instead of racing the file.
+    std::shared_ptr<std::mutex> label_lock;
+    {
+        const std::string canonical = canonicalCharacterize(request);
+        std::unique_lock lock(labelsMutex_);
+        auto &slot = labelLocks_[canonical];
+        if (!slot)
+            slot = std::make_shared<std::mutex>();
+        label_lock = slot;
+    }
+    std::unique_lock serialized(*label_lock);
+
+    bool resumed = false;
+    Error last = makeError(Errc::recoveryExhausted,
+                           "characterize {} never ran", item.id);
+    for (int attempt = 1; attempt <= config_.maxAttempts; ++attempt) {
+        if (stopRequested()) {
+            respondStopped(item);
+            return;
+        }
+        auto result = characterizeOnce(request, request_seed, attempt,
+                                       item.deadline, resumed);
+        if (result.ok()) {
+            CharacterizeResponse response = result.take();
+            response.attempts = attempt;
+            response.resumed = resumed;
+
+            if (config_.fvmCache) {
+                const fpga::PlatformSpec &spec =
+                    fpga::findPlatform(request.platform);
+                const fpga::Floorplan floorplan =
+                    fpga::Floorplan::columnGrid(spec.bramCount,
+                                                spec.columnHeight);
+                if (auto stored = config_.fvmCache->store(
+                        spec, request.pattern, request.runsPerLevel,
+                        harness::fvmFromSweep(response.sweep,
+                                              floorplan));
+                    !stored.ok()) {
+                    warn("serve: FVM publication failed: {}",
+                         stored.error().message);
+                }
+            }
+
+            const auto &res = response.sweep.resilience;
+            const double pressure = static_cast<double>(
+                res.crashRecoveries + res.runsRetried +
+                res.linkRetransmits + res.pmbusRetries +
+                static_cast<std::uint64_t>(attempt - 1));
+            observeFaultPressure(pressure);
+
+            {
+                std::unique_lock lock(statsMutex_);
+                ++stats_.completed;
+            }
+            serveMetrics().completed.increment();
+            const double e2e = elapsedMs(item.submitted);
+            serveMetrics().e2eMs.observe(e2e);
+            recordRequestSpan("characterize", item.id, e2e, true);
+            work.promise.set_value(std::move(response));
+            settled();
+            return;
+        }
+
+        last = result.error();
+        if (last.code == Errc::deadlineExceeded) {
+            observeFaultPressure(static_cast<double>(attempt));
+            respondExpired(item);
+            return;
+        }
+        if (last.code == Errc::serverStopped) {
+            respondStopped(item);
+            return;
+        }
+        if (!transientErrc(last.code) ||
+            attempt == config_.maxAttempts)
+            break;
+        {
+            std::unique_lock lock(statsMutex_);
+            ++stats_.retried;
+        }
+        serveMetrics().retried.increment();
+        if (!backoff(attempt, request_seed)) {
+            respondStopped(item);
+            return;
+        }
+    }
+
+    observeFaultPressure(
+        static_cast<double>(config_.maxAttempts));
+    {
+        std::unique_lock lock(statsMutex_);
+        ++stats_.failed;
+    }
+    serveMetrics().failed.increment();
+    const double e2e = elapsedMs(item.submitted);
+    serveMetrics().e2eMs.observe(e2e);
+    recordRequestSpan("characterize", item.id, e2e, false);
+    work.promise.set_value(std::move(last));
+    settled();
+}
+
+Expected<std::shared_ptr<const nn::Network>>
+UvoltServer::obtainModel(int setpoint_mv, std::uint64_t request_seed,
+                         int &attempts)
+{
+    Error last = makeError(Errc::recoveryExhausted,
+                           "model provider never ran");
+    for (attempts = 1; attempts <= config_.maxAttempts; ++attempts) {
+        auto model = config_.modelProvider(setpoint_mv);
+        if (model.ok())
+            return model;
+        last = model.error();
+        if (!transientErrc(last.code) ||
+            attempts == config_.maxAttempts)
+            return last;
+        {
+            std::unique_lock lock(statsMutex_);
+            ++stats_.retried;
+        }
+        serveMetrics().retried.increment();
+        if (!backoff(attempts, request_seed)) {
+            return makeError(Errc::serverStopped,
+                             "server stopped during model retry");
+        }
+    }
+    return last;
+}
+
+void
+UvoltServer::finishClassifyGroup(std::vector<Pending> items)
+{
+    struct Member
+    {
+        Pending item;
+        std::size_t features = 0;
+        std::size_t count = 0;
+        std::size_t done = 0;
+        std::vector<int> classes;
+        bool finished = false; ///< responded (expired/stopped)
+    };
+    std::vector<Member> members;
+    members.reserve(items.size());
+    for (auto &pending : items) {
+        Member member;
+        const auto &request =
+            std::get<ClassifyWork>(pending.work).request;
+        member.count = request.sampleCount;
+        member.features = request.samples.size() / request.sampleCount;
+        member.classes.resize(member.count, -1);
+        member.item = std::move(pending);
+        members.push_back(std::move(member));
+    }
+    const bool group_coalesced = members.size() > 1;
+    const int requested_setpoint =
+        std::get<ClassifyWork>(members.front().item.work)
+            .request.setpointMv;
+
+    // Degradation raises the operating point toward the safe region;
+    // the whole group shares one effective setpoint (same requested
+    // point — that is what made them coalescible).
+    const int effective_setpoint = requested_setpoint + floorRaiseMv();
+
+    int model_attempts = 1;
+    auto model =
+        obtainModel(effective_setpoint,
+                    combineSeeds(config_.seed, members.front().item.id),
+                    model_attempts);
+    if (!model.ok()) {
+        for (auto &member : members) {
+            if (model.error().code == Errc::serverStopped) {
+                respondStopped(member.item);
+            } else {
+                Error error = model.error();
+                {
+                    std::unique_lock lock(statsMutex_);
+                    ++stats_.failed;
+                }
+                serveMetrics().failed.increment();
+                const double e2e = elapsedMs(member.item.submitted);
+                serveMetrics().e2eMs.observe(e2e);
+                recordRequestSpan("classify", member.item.id, e2e,
+                                  false);
+                std::get<ClassifyWork>(member.item.work)
+                    .promise.set_value(std::move(error));
+                settled();
+            }
+        }
+        observeFaultPressure(static_cast<double>(model_attempts));
+        return;
+    }
+    const std::shared_ptr<const nn::Network> &net = model.value();
+
+    const std::size_t width = static_cast<std::size_t>(
+        config_.coalesceBatch > 0 ? config_.coalesceBatch
+                                  : nn::defaultEvalBatch());
+
+    // Run block by block, checking stop and per-member deadlines at
+    // every block boundary (the batch-block cancellation granularity).
+    for (;;) {
+        if (stopRequested()) {
+            for (auto &member : members) {
+                if (!member.finished && member.done < member.count) {
+                    respondStopped(member.item);
+                    member.finished = true;
+                }
+            }
+            break;
+        }
+        const auto now = Clock::now();
+        for (auto &member : members) {
+            if (!member.finished && member.done < member.count &&
+                now > member.item.deadline) {
+                respondExpired(member.item);
+                member.finished = true;
+            }
+        }
+
+        std::vector<std::span<const float>> block;
+        std::vector<std::pair<std::size_t, std::size_t>> slots;
+        block.reserve(width);
+        slots.reserve(width);
+        std::size_t members_in_block = 0;
+        for (std::size_t m = 0;
+             m < members.size() && block.size() < width; ++m) {
+            Member &member = members[m];
+            if (member.finished || member.done >= member.count)
+                continue;
+            ++members_in_block;
+            const auto &request =
+                std::get<ClassifyWork>(member.item.work).request;
+            std::size_t take = std::min(
+                member.count - member.done, width - block.size());
+            for (std::size_t j = 0; j < take; ++j) {
+                const std::size_t sample = member.done + j;
+                block.emplace_back(
+                    request.samples.data() + sample * member.features,
+                    member.features);
+                slots.emplace_back(m, sample);
+            }
+        }
+        if (block.empty())
+            break;
+
+        std::vector<int> classes(block.size(), -1);
+        net->classifyScattered(block, classes);
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            Member &member = members[slots[i].first];
+            member.classes[slots[i].second] = classes[i];
+            ++member.done;
+        }
+        if (members_in_block > 1) {
+            {
+                std::unique_lock lock(statsMutex_);
+                ++stats_.coalescedBlocks;
+            }
+            serveMetrics().coalescedBlocks.increment();
+        }
+    }
+
+    for (auto &member : members) {
+        if (member.finished)
+            continue;
+        ClassifyResponse response;
+        response.classes = std::move(member.classes);
+        response.effectiveSetpointMv = effective_setpoint;
+        response.attempts = model_attempts;
+        response.coalesced = group_coalesced;
+        {
+            std::unique_lock lock(statsMutex_);
+            ++stats_.completed;
+        }
+        serveMetrics().completed.increment();
+        const double e2e = elapsedMs(member.item.submitted);
+        serveMetrics().e2eMs.observe(e2e);
+        recordRequestSpan("classify", member.item.id, e2e, true);
+        observeFaultPressure(
+            static_cast<double>(model_attempts - 1));
+        std::get<ClassifyWork>(member.item.work)
+            .promise.set_value(std::move(response));
+        settled();
+    }
+}
+
+bool
+UvoltServer::backoff(int attempt, std::uint64_t request_seed)
+{
+    const double exponential =
+        config_.backoffBaseMs * std::ldexp(1.0, attempt - 1);
+    Rng rng(combineSeeds(request_seed,
+                         0xb0ffull + static_cast<std::uint64_t>(
+                                         attempt)));
+    const double jitter =
+        config_.backoffJitterMs > 0.0
+            ? rng.uniform(0.0, config_.backoffJitterMs)
+            : 0.0;
+    const double delay_ms =
+        std::min(config_.backoffMaxMs, exponential) + jitter;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+    return !stopRequested();
+}
+
+} // namespace uvolt::serve

@@ -45,6 +45,15 @@ CliParser::addBool(const std::string &name, const std::string &help)
 bool
 CliParser::parse(int argc, char **argv)
 {
+    auto parsed = tryParse(argc, argv);
+    if (!parsed.ok())
+        fatal("{}", parsed.error().message);
+    return parsed.value();
+}
+
+Expected<bool>
+CliParser::tryParse(int argc, char **argv)
+{
     program_ = argc > 0 ? argv[0] : "program";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -66,14 +75,16 @@ CliParser::parse(int argc, char **argv)
         }
         auto it = flags_.find(name);
         if (it == flags_.end())
-            fatal("unknown flag --{} (try --help)", name);
+            return makeError(Errc::unknownFlag,
+                             "unknown flag --{} (try --help)", name);
         if (it->second.kind == Kind::Bool) {
             it->second.value = has_value ? value : "1";
             continue;
         }
         if (!has_value) {
             if (i + 1 >= argc)
-                fatal("flag --{} expects a value", name);
+                return makeError(Errc::unknownFlag,
+                                 "flag --{} expects a value", name);
             value = argv[++i];
         }
         it->second.value = value;

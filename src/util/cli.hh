@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/error.hh"
+
 namespace uvolt
 {
 
@@ -43,6 +45,15 @@ class CliParser
      * and exits with fatal() on malformed or unknown flags.
      */
     bool parse(int argc, char **argv);
+
+    /**
+     * Recoverable parse: an undeclared "--flag" or a flag missing its
+     * value comes back as an Errc::unknownFlag Error instead of
+     * terminating, so services and CI wrappers can report a typo'd
+     * flag through their own channel. Success mirrors parse():
+     * true = proceed, false = --help was printed.
+     */
+    Expected<bool> tryParse(int argc, char **argv);
 
     std::string getString(const std::string &name) const;
     double getDouble(const std::string &name) const;

@@ -25,6 +25,16 @@ errcName(Errc code)
         return "cache-miss";
       case Errc::corruptCache:
         return "corrupt-cache";
+      case Errc::queueFull:
+        return "queue-full";
+      case Errc::deadlineExceeded:
+        return "deadline-exceeded";
+      case Errc::serverStopped:
+        return "server-stopped";
+      case Errc::loadShed:
+        return "load-shed";
+      case Errc::unknownFlag:
+        return "unknown-flag";
     }
     panic("errcName: invalid Errc {}", static_cast<int>(code));
 }

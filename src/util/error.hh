@@ -35,6 +35,11 @@ enum class Errc
     cacheMiss,         ///< no cached artifact for the requested key
     corruptCache,      ///< cache file present but unusable (malformed
                        ///< or for a different chip/geometry)
+    queueFull,         ///< admission control rejected: queue at capacity
+    deadlineExceeded,  ///< request deadline passed before completion
+    serverStopped,     ///< server draining/stopped; request not taken
+    loadShed,          ///< degraded server shed low-priority work
+    unknownFlag,       ///< command line used an undeclared/malformed flag
 };
 
 /** Stable short name of an error code (for messages and logs). */

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/format.hh"
 #include "util/telemetry.hh"
@@ -36,7 +37,16 @@ void
 ThreadPool::submit(std::function<void()> job)
 {
     if (workers_.empty()) {
-        job(); // serial pool: the caller is the worker
+        // Serial pool: the caller is the worker, but exception
+        // semantics match the parallel path — the batch fails at the
+        // next wait(), not at the submit() that happened to throw.
+        try {
+            job();
+        } catch (...) {
+            std::unique_lock lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
         return;
     }
     {
@@ -51,6 +61,11 @@ ThreadPool::wait()
 {
     std::unique_lock lock(mutex_);
     idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+    if (firstError_) {
+        auto error = std::exchange(firstError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 std::size_t
@@ -74,8 +89,15 @@ ThreadPool::workerLoop()
         queue_.pop_front();
         ++running_;
         lock.unlock();
-        job();
+        std::exception_ptr error;
+        try {
+            job();
+        } catch (...) {
+            error = std::current_exception();
+        }
         lock.lock();
+        if (error && !firstError_)
+            firstError_ = std::move(error);
         --running_;
         if (queue_.empty() && running_ == 0)
             idle_.notify_all();

@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -49,12 +50,20 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /**
-     * Enqueue one job. Jobs must not throw; anything recoverable should
-     * travel through the job's own result slot as an Expected<T>.
+     * Enqueue one job. Recoverable outcomes should travel through the
+     * job's own result slot as an Expected<T>; a job that throws anyway
+     * fails the batch: the first escaped exception (first in completion
+     * order) is captured and rethrown by the next wait(), and the
+     * remaining queued jobs still run so result slots stay consistent.
      */
     void submit(std::function<void()> job);
 
-    /** Block until every submitted job has finished running. */
+    /**
+     * Block until every submitted job has finished running, then
+     * rethrow the first exception any of them escaped with (if any).
+     * Rethrowing clears the stored exception, so the pool remains
+     * usable for further submit()/wait() rounds.
+     */
     void wait();
 
     std::size_t workerCount() const { return workers_.size(); }
@@ -75,6 +84,7 @@ class ThreadPool
     std::vector<std::thread> workers_;
     std::size_t running_ = 0; ///< jobs currently executing on workers
     bool stopping_ = false;
+    std::exception_ptr firstError_; ///< first job exception; see wait()
 };
 
 } // namespace uvolt

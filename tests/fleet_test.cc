@@ -147,6 +147,61 @@ TEST(ThreadPoolTest, HardwareWorkersIsPositive)
     EXPECT_GE(ThreadPool::hardwareWorkers(), 1u);
 }
 
+TEST(ThreadPoolTest, ThrowingJobFailsTheBatchDeterministically)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&] { completed.fetch_add(1); });
+    pool.submit([] { throw std::runtime_error("injected job failure"); });
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&] { completed.fetch_add(1); });
+
+    // The batch fails with the escaped exception — but every other job
+    // still ran, so pre-assigned result slots stay consistent.
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(completed.load(), 40);
+
+    // Rethrowing cleared the stored exception: the pool is reusable and
+    // a clean follow-up batch waits without throwing.
+    completed.store(0);
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&] { completed.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(completed.load(), 10);
+}
+
+TEST(ThreadPoolTest, InlinePoolPropagatesExceptionsToo)
+{
+    ThreadPool pool(0);
+    bool ran_after = false;
+    pool.submit([] { throw std::runtime_error("inline failure"); });
+    pool.submit([&] { ran_after = true; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_TRUE(ran_after);
+    // And the pool is clean again.
+    pool.submit([] {});
+    pool.wait();
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsOnSingleWorker)
+{
+    // One worker runs jobs in submission order, so "first in completion
+    // order" is deterministic here: the waiter sees job A's message.
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("first failure"); });
+    pool.submit([] { throw std::runtime_error("second failure"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() should have rethrown";
+    } catch (const std::runtime_error &error) {
+        EXPECT_STREQ(error.what(), "first failure");
+    }
+    // The second exception was dropped, not deferred to the next round.
+    pool.submit([] {});
+    pool.wait();
+}
+
 TEST(FleetDeterminism, ParallelMatchesSerialBitForBit)
 {
     FleetEngine engine;
@@ -397,6 +452,61 @@ TEST(FvmCacheTest, DiskHitsAndCorruptionSelfHeal)
     ASSERT_TRUE(cache.obtain(spec, pattern, 5, characterize).ok());
     EXPECT_EQ(characterizations, 2);
     EXPECT_GT(cache.stats().hitRate(), 0.0);
+}
+
+TEST(FvmCacheTest, CorruptDiskSelfHealsUnderConcurrentReaders)
+{
+    const std::string dir = scratchDir("uvolt-fvm-cache-heal-mt");
+    FvmCache cache(dir);
+    const auto &spec = fpga::findPlatform("ZC702");
+    const auto pattern = PatternSpec::allOnes();
+    const fpga::Floorplan floorplan =
+        fpga::Floorplan::columnGrid(spec.bramCount, spec.columnHeight);
+
+    // A corrupt on-disk entry is already present when a stampede of
+    // readers arrives: exactly one of them re-characterizes (the
+    // single-flight lock covers the self-heal path too) and everyone
+    // shares the healed map.
+    const std::string path =
+        dir + "/" + FvmCache::keyFor(spec, pattern, 5) + ".fvm";
+    {
+        std::ofstream out(path);
+        out << "garbage, not an fvm\n";
+    }
+
+    std::atomic<int> characterizations{0};
+    auto characterize = [&]() -> Expected<Fvm> {
+        characterizations.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return Fvm(spec.name, floorplan,
+                   std::vector<int>(spec.bramCount, 7));
+    };
+
+    std::vector<std::thread> readers;
+    std::vector<std::shared_ptr<const Fvm>> results(8);
+    for (std::size_t t = 0; t < results.size(); ++t) {
+        readers.emplace_back([&, t] {
+            auto fvm = cache.obtain(spec, pattern, 5, characterize);
+            ASSERT_TRUE(fvm.ok());
+            results[t] = fvm.value();
+        });
+    }
+    for (auto &thread : readers)
+        thread.join();
+
+    EXPECT_EQ(characterizations.load(), 1);
+    for (const auto &fvm : results) {
+        ASSERT_NE(fvm, nullptr);
+        EXPECT_EQ(fvm->faultsOf(0), 7);
+    }
+    EXPECT_GE(cache.stats().corruptFiles, 1u);
+
+    // The healed file is good: a fresh memory-evicted read hits disk.
+    cache.evictMemory();
+    auto healed = cache.obtain(spec, pattern, 5, characterize);
+    ASSERT_TRUE(healed.ok());
+    EXPECT_EQ(characterizations.load(), 1);
+    EXPECT_EQ(healed.value()->faultsOf(0), 7);
 }
 
 TEST(FvmCacheTest, FailedFlightsAreSharedThenRetried)

@@ -159,6 +159,48 @@ TEST(GovernorTest, PayloadStaysCleanAtGovernedPoint)
     w.board.softReset();
 }
 
+TEST(GovernorTest, BacksOffUnderSustainedNackStorm)
+{
+    // A dedicated board: the storm must not pollute the shared world's
+    // control channel. NACK rate 0.6 on every PMBus transaction — a
+    // sustained storm, not a glitch. A verified write is three
+    // transactions (page select, setpoint, read-back), so one attempt
+    // survives the storm with probability 0.4^3; the attempt budget has
+    // to be generous for every write to converge through retries.
+    pmbus::Board board(fpga::findPlatform("ZC702"));
+    pmbus::NoiseConfig noise;
+    noise.seed = 99;
+    noise.pmbusNackProb = 0.6;
+    board.attachNoise(noise);
+    board.setMaxPmbusAttempts(256);
+
+    // First, the raw channel under 100+ consecutive stormed
+    // transactions: every verified write converges through retries.
+    for (int i = 0; i < 100; ++i)
+        ASSERT_TRUE(board.trySetVccBramMv(i % 2 ? 890 : 900).ok());
+    const pmbus::PmbusStats &stats = board.pmbusStats();
+    EXPECT_GE(stats.transactions, 100u);
+    // The injector really sustained a >= 0.5 NACK rate...
+    EXPECT_GE(board.injector()->stats().nacks, stats.transactions / 2);
+    // ...and the channel absorbed it with transaction-level retries.
+    EXPECT_GE(stats.retries, stats.transactions / 2);
+    EXPECT_EQ(stats.exhausted, 0u);
+
+    // Then the control loop on top of that channel: it settles without
+    // exhausting, never dives through the floor on uncertain readings,
+    // and lands in the usual band around Vmin.
+    VoltageGovernor governor(board, *world().fvm, {});
+    const auto trace = governor.settle();
+    ASSERT_FALSE(trace.empty());
+    const int v_min = board.spec().calib.bramVminMv;
+    EXPECT_GE(governor.setpointMv(), v_min - 10);
+    EXPECT_LE(governor.setpointMv(), v_min + 20);
+    bool backed_off = false;
+    for (const auto &step : trace)
+        backed_off |= step.backedOff;
+    EXPECT_TRUE(backed_off);
+}
+
 TEST(GovernorTest, NeverCommandsBelowFloor)
 {
     auto &w = world();

@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 
 #include "util/cli.hh"
 #include "util/format.hh"
+#include "util/fsio.hh"
 #include "util/kmeans.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -357,6 +360,79 @@ TEST(Cli, HelpReturnsFalse)
     CliParser cli("test");
     const char *argv[] = {"prog", "--help"};
     EXPECT_FALSE(cli.parse(2, const_cast<char **>(argv)));
+}
+
+TEST(Cli, TryParseReportsUnknownFlagAsError)
+{
+    CliParser cli("test");
+    cli.addInt("runs", 100, "repetitions");
+    const char *argv[] = {"prog", "--nope", "5"};
+    auto parsed = cli.tryParse(3, const_cast<char **>(argv));
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code, Errc::unknownFlag);
+    // The message names the offending flag, not just the code.
+    EXPECT_NE(parsed.error().message.find("nope"), std::string::npos);
+}
+
+TEST(Cli, TryParseReportsMissingValueAsError)
+{
+    CliParser cli("test");
+    cli.addInt("runs", 100, "repetitions");
+    const char *argv[] = {"prog", "--runs"};
+    auto parsed = cli.tryParse(2, const_cast<char **>(argv));
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code, Errc::unknownFlag);
+}
+
+TEST(Cli, TryParseSucceedsOnDeclaredFlags)
+{
+    CliParser cli("test");
+    cli.addInt("runs", 100, "repetitions");
+    const char *argv[] = {"prog", "--runs=7"};
+    auto parsed = cli.tryParse(2, const_cast<char **>(argv));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.value());
+    EXPECT_EQ(cli.getInt("runs"), 7);
+}
+
+TEST(Fsio, AtomicWriteCreatesParentsAndLeavesNoTemp)
+{
+    const auto root =
+        std::filesystem::temp_directory_path() / "uvolt-fsio-test";
+    std::filesystem::remove_all(root);
+    const std::string path = (root / "a" / "b" / "artifact.json").string();
+
+    ASSERT_TRUE(writeFileAtomic(path, "first version").ok());
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "first version");
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    // Overwrite is atomic too: the new content fully replaces the old.
+    ASSERT_TRUE(writeFileAtomic(path, "second version").ok());
+    std::ifstream again(path);
+    content.assign((std::istreambuf_iterator<char>(again)),
+                   std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "second version");
+    std::filesystem::remove_all(root);
+}
+
+TEST(Fsio, FailedWriteKeepsPreviousContentAndReportsCode)
+{
+    const auto root =
+        std::filesystem::temp_directory_path() / "uvolt-fsio-fail";
+    std::filesystem::remove_all(root);
+    std::filesystem::create_directories(root / "occupied.tmp");
+    // The temp slot is a directory: the write cannot land, and the
+    // caller's chosen taxonomy code comes back.
+    const std::string path = (root / "occupied").string();
+    auto failed =
+        writeFileAtomic(path, "doomed", Errc::badCheckpoint);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.error().code, Errc::badCheckpoint);
+    EXPECT_FALSE(std::filesystem::exists(path));
+    std::filesystem::remove_all(root);
 }
 
 } // namespace
