@@ -79,10 +79,7 @@ UVOLT_BENCHMARK(BM_BramReadbackAtVcrash)
 std::uint64_t
 deviceFaultPass(pmbus::Board &board)
 {
-    std::uint64_t total = 0;
-    for (std::uint32_t b = 0; b < board.device().bramCount(); ++b)
-        total += static_cast<std::uint64_t>(board.countBramFaults(b));
-    return total;
+    return board.countDeviceFaults();
 }
 
 UVOLT_BENCHMARK(BM_DeviceFaultCount)
@@ -91,6 +88,23 @@ UVOLT_BENCHMARK(BM_DeviceFaultCount)
     parkAtVcrash(board);
     for (auto _ : state)
         bench::doNotOptimize(deviceFaultPass(board));
+    board.softReset();
+}
+
+/**
+ * The memo-defeating variant: every iteration draws fresh supply
+ * jitter, so the effective voltage changes and the count streams the
+ * packed threshold ladders for real instead of replaying the
+ * (content epoch, voltage) memo BM_DeviceFaultCount converges to.
+ */
+UVOLT_BENCHMARK(BM_DeviceFaultCountFreshJitter)
+{
+    auto &board = vc707();
+    parkAtVcrash(board);
+    for (auto _ : state) {
+        board.startRun();
+        bench::doNotOptimize(board.countDeviceFaults());
+    }
     board.softReset();
 }
 

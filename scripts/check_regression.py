@@ -35,11 +35,26 @@ MANIFEST_SCHEMA = "uvolt-run-manifest-v1"
 # serving daemon is inherently noisier than a calibrated micro-bench
 # minimum: the p50/p99 rows come from ONE closed-loop run whose tail is
 # set by whichever characterize campaigns land in it, so they get a
-# wider band than the global default. A command-line --override for the
-# same name wins over this table.
+# wider band than the global default. In the other direction, the
+# packed fault-domain kernels (readback, device count, sweep inner
+# loop) are tight single-purpose loops whose min-of-repeats is very
+# stable run to run, so they get a band NARROWER than the global 50 %:
+# losing even a third of the popcount-path win is a regression worth
+# stopping. A command-line --override for the same name wins over this
+# table.
 DEFAULT_OVERRIDES = {
     "SV_ServeE2EP50": 1.5,
     "SV_ServeE2EP99": 1.5,
+    # Fleet fan-out wall time is set by OS thread scheduling of 1-3
+    # coarse iterations; the min-of-repeats still swings ~2x run to run
+    # on a shared machine, so these get the tail-latency band too.
+    "BM_FleetFanout0Workers": 1.5,
+    "BM_FleetFanout1Worker": 1.5,
+    "BM_FleetFanout8Workers": 1.5,
+    "BM_MnistEvalBatched8Workers": 1.5,
+    "BM_BramReadbackAtVcrash": 0.35,
+    "BM_DeviceFaultCount": 0.35,
+    "BM_SweepInnerLoopTelemetryOff": 0.35,
 }
 
 

@@ -90,6 +90,19 @@ ASAN_OPTIONS=detect_leaks=0 ./build-asan/bench/bench_all \
 python3 scripts/check_regression.py --warn-only \
     bench/BENCH_baseline.json build-asan/BENCH_uvolt.json
 
+echo "== bit-twiddling under UBSan (UVOLT_SANITIZE=undefined) =="
+# The packed fault-domain layout lives on shifts, masks, and narrowing
+# casts (bram.cc, fault_domain.hh, chip_fault_model.cc, the analyzer's
+# ctz walk). A UBSan-only build is fast enough to run the three suites
+# that exercise every one of those paths on each CI pass — ASan's
+# memory instrumentation isn't needed here and would double the leg.
+cmake -B build-ubsan -S . -DUVOLT_SANITIZE=undefined
+cmake --build build-ubsan -j "$jobs" \
+    --target fpga_test vmodel_test harness_test
+UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/fpga_test
+UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/vmodel_test
+UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/harness_test
+
 echo "== tier 1: thread-sanitized build (TSan) =="
 # Only the suites that actually spin threads: the fleet engine, the
 # resilience layer it schedules, and the telemetry shards every worker

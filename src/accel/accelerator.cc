@@ -66,18 +66,16 @@ Accelerator::restoreImage() const
     for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
          ++logical) {
         auto &bram = board_.device().bram(placement_.physicalOf(logical));
-        const auto &rows = image_.rowsOf(logical);
-        for (int row = 0; row < fpga::bramRows; ++row)
-            bram.writeRow(row, rows[static_cast<std::size_t>(row)]);
+        bram.assignWords(image_.wordsOf(logical));
     }
 }
 
-std::vector<std::uint16_t>
+std::vector<std::uint64_t>
 Accelerator::readPhysicalRecoverable(std::uint32_t physical) const
 {
     constexpr int max_recoveries = 16;
     for (int attempt = 0; attempt <= max_recoveries; ++attempt) {
-        auto observed = board_.tryReadBramToHost(physical);
+        auto observed = board_.tryReadBramPacked(physical);
         if (observed.ok())
             return observed.take();
         if (observed.code() != Errc::crashDetected)
@@ -119,17 +117,17 @@ Accelerator::observed() const
             {"mv", std::to_string(mv)}};
     });
     accelMetrics().decodeCacheMisses.increment();
-    std::vector<std::vector<std::uint16_t>> rows;
-    rows.reserve(image_.logicalBramCount());
+    std::vector<std::vector<std::uint64_t>> words;
+    words.reserve(image_.logicalBramCount());
     for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
          ++logical) {
-        rows.push_back(
+        words.push_back(
             readPhysicalRecoverable(placement_.physicalOf(logical)));
     }
-    nn::QuantizedModel model = image_.decode(rows);
+    nn::QuantizedModel model = image_.decode(words);
     nn::Network network = model.toNetwork();
     cache_.emplace(Observation{mv, effective, programGeneration_,
-                               std::move(rows), std::move(model),
+                               std::move(words), std::move(model),
                                std::move(network)});
     return *cache_;
 }
@@ -156,16 +154,9 @@ Accelerator::weightFaults() const
     for (const LayerSpan &span : image_.layerSpans()) {
         for (std::uint32_t b = 0; b < span.bramCount; ++b) {
             const std::uint32_t logical = span.firstLogicalBram + b;
-            const auto &rows =
-                observation.rows[static_cast<std::size_t>(logical)];
-            const auto &written = image_.rowsOf(logical);
-            std::uint64_t faults = 0;
-            for (int row = 0; row < fpga::bramRows; ++row) {
-                faults += static_cast<std::uint64_t>(std::popcount(
-                    static_cast<unsigned>(
-                        rows[static_cast<std::size_t>(row)] ^
-                        written[static_cast<std::size_t>(row)])));
-            }
+            const std::uint64_t faults = fpga::diffPopcount(
+                observation.words[static_cast<std::size_t>(logical)],
+                image_.wordsOf(logical));
             report.faultsPerLayer[static_cast<std::size_t>(span.layer)] +=
                 faults;
             report.total += faults;

@@ -117,8 +117,8 @@ class Accelerator
         int vccBramMv;            ///< commanded setpoint
         double effectiveVoltage;  ///< dose: folds temp + jitter
         std::uint64_t generation; ///< program() epoch
-        std::vector<std::vector<std::uint16_t>> rows; ///< raw readback
-        nn::QuantizedModel model; ///< decoded from rows
+        std::vector<std::vector<std::uint64_t>> words; ///< packed readback
+        nn::QuantizedModel model; ///< decoded from words
         nn::Network network;      ///< model.toNetwork()
     };
 
@@ -126,11 +126,11 @@ class Accelerator
     void restoreImage() const;
 
     /**
-     * Read one physical BRAM, recovering spurious crashes like the
-     * harness watchdog: reconfigure, restore the operating point, and
-     * retry under the original supply jitter.
+     * Read one physical BRAM (packed), recovering spurious crashes like
+     * the harness watchdog: reconfigure, restore the operating point,
+     * and retry under the original supply jitter.
      */
-    std::vector<std::uint16_t>
+    std::vector<std::uint64_t>
     readPhysicalRecoverable(std::uint32_t physical) const;
 
     /** The cached observation at the current dose (refreshed on miss). */

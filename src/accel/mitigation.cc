@@ -1,8 +1,9 @@
 #include "accel/mitigation.hh"
 
-#include <bit>
+#include <algorithm>
 
 #include "accel/secded.hh"
+#include "fpga/fault_domain.hh"
 #include "util/logging.hh"
 
 namespace uvolt::accel
@@ -11,17 +12,15 @@ namespace uvolt::accel
 namespace
 {
 
-/** Faulty bits between an observed readback and the written rows. */
-std::uint64_t
-countDiffBits(const std::vector<std::uint16_t> &written,
-              const std::vector<std::uint16_t> &observed)
+/** Replace one 16-bit row lane inside a packed stream. */
+void
+setRowOfWords(std::vector<std::uint64_t> &words, int row,
+              std::uint16_t value)
 {
-    std::uint64_t faults = 0;
-    for (std::size_t row = 0; row < written.size(); ++row) {
-        faults += static_cast<std::uint64_t>(std::popcount(
-            static_cast<unsigned>(written[row] ^ observed[row])));
-    }
-    return faults;
+    auto &word = words[static_cast<std::size_t>(row / fpga::bramRowsPerWord)];
+    const int shift = (row % fpga::bramRowsPerWord) * fpga::bramCols;
+    word = (word & ~(std::uint64_t{0xFFFF} << shift)) |
+        (static_cast<std::uint64_t>(value) << shift);
 }
 
 } // namespace
@@ -119,25 +118,20 @@ MitigationLab::restoreAllStorage() const
     auto &device = board_.device();
     for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
          ++logical) {
-        const auto &rows = image_.rowsOf(logical);
+        const auto &words = image_.wordsOf(logical);
 
-        auto write_rows = [&](std::uint32_t physical) {
-            auto &bram = device.bram(physical);
-            for (int row = 0; row < fpga::bramRows; ++row)
-                bram.writeRow(row, rows[static_cast<std::size_t>(row)]);
-        };
-        write_rows(placement_.physicalOf(logical));
+        device.bram(placement_.physicalOf(logical)).assignWords(words);
         if (hasReplica_[logical]) {
-            write_rows(replicaOf_[logical][0]);
-            write_rows(replicaOf_[logical][1]);
+            device.bram(replicaOf_[logical][0]).assignWords(words);
+            device.bram(replicaOf_[logical][1]).assignWords(words);
         }
         if (checkOf_[logical].valid) {
             auto &check_bram = device.bram(checkOf_[logical].physical);
             for (int row = 0; row < fpga::bramRows; row += 2) {
                 const std::uint8_t low = secdedEncode(
-                    rows[static_cast<std::size_t>(row)]);
+                    fpga::rowOfWords(words, row));
                 const std::uint8_t high = secdedEncode(
-                    rows[static_cast<std::size_t>(row) + 1]);
+                    fpga::rowOfWords(words, row + 1));
                 check_bram.writeRow(
                     checkOf_[logical].baseRow + row / 2,
                     static_cast<std::uint16_t>(low | (high << 8)));
@@ -146,12 +140,12 @@ MitigationLab::restoreAllStorage() const
     }
 }
 
-std::vector<std::uint16_t>
+std::vector<std::uint64_t>
 MitigationLab::readPhysical(std::uint32_t physical) const
 {
     constexpr int max_recoveries = 16;
     for (int attempt = 0; attempt <= max_recoveries; ++attempt) {
-        auto observed = board_.tryReadBramToHost(physical);
+        auto observed = board_.tryReadBramPacked(physical);
         if (observed.ok())
             return observed.take();
         if (observed.code() != Errc::crashDetected)
@@ -175,13 +169,13 @@ nn::QuantizedModel
 MitigationLab::readRaw(MitigationReport &report) const
 {
     report = MitigationReport{};
-    std::vector<std::vector<std::uint16_t>> observed;
+    std::vector<std::vector<std::uint64_t>> observed;
     observed.reserve(image_.logicalBramCount());
     for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
          ++logical) {
         observed.push_back(readPhysical(placement_.physicalOf(logical)));
         report.rawFaults +=
-            countDiffBits(image_.rowsOf(logical), observed.back());
+            fpga::diffPopcount(image_.wordsOf(logical), observed.back());
     }
     report.residualFaults = report.rawFaults;
     return image_.decode(observed);
@@ -196,9 +190,9 @@ MitigationLab::readTemporalVote(int reads, MitigationReport &report) const
     report = MitigationReport{};
     report.extraBrams = 0; // bandwidth cost, not storage
 
-    std::vector<std::vector<std::uint16_t>> observed;
+    std::vector<std::vector<std::uint64_t>> observed;
     observed.reserve(image_.logicalBramCount());
-    std::vector<int> votes(fpga::bramRows * fpga::bramCols);
+    std::vector<int> votes(fpga::bramBits);
 
     for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
          ++logical) {
@@ -207,32 +201,32 @@ MitigationLab::readTemporalVote(int reads, MitigationReport &report) const
         std::uint64_t raw_once = 0;
         for (int r = 0; r < reads; ++r) {
             board_.startRun(); // fresh supply jitter per read
-            const auto rows = readPhysical(physical);
-            if (r == 0)
-                raw_once = countDiffBits(image_.rowsOf(logical), rows);
-            for (int row = 0; row < fpga::bramRows; ++row) {
-                const std::uint16_t word =
-                    rows[static_cast<std::size_t>(row)];
-                for (int col = 0; col < fpga::bramCols; ++col)
-                    votes[static_cast<std::size_t>(
-                        row * fpga::bramCols + col)] +=
-                        (word >> col) & 1;
+            const auto words = readPhysical(physical);
+            if (r == 0) {
+                raw_once =
+                    fpga::diffPopcount(image_.wordsOf(logical), words);
             }
+            // Only set bits can push a vote over the majority line, so
+            // the ctz walk over the fault domain tallies exactly what
+            // the per-bitcell loop did.
+            fpga::forEachSetBit(words, [&](std::uint32_t offset) {
+                ++votes[offset];
+            });
         }
-        std::vector<std::uint16_t> voted(fpga::bramRows, 0);
-        for (int row = 0; row < fpga::bramRows; ++row) {
-            std::uint16_t word = 0;
-            for (int col = 0; col < fpga::bramCols; ++col) {
+        std::vector<std::uint64_t> voted(fpga::bramWords, 0);
+        for (int w = 0; w < fpga::bramWords; ++w) {
+            std::uint64_t word = 0;
+            for (int bit = 0; bit < fpga::bramWordBits; ++bit) {
                 if (votes[static_cast<std::size_t>(
-                        row * fpga::bramCols + col)] * 2 > reads) {
-                    word = static_cast<std::uint16_t>(word | (1u << col));
+                        w * fpga::bramWordBits + bit)] * 2 > reads) {
+                    word |= std::uint64_t{1} << bit;
                 }
             }
-            voted[static_cast<std::size_t>(row)] = word;
+            voted[static_cast<std::size_t>(w)] = word;
         }
         report.rawFaults += raw_once;
         report.residualFaults +=
-            countDiffBits(image_.rowsOf(logical), voted);
+            fpga::diffPopcount(image_.wordsOf(logical), voted);
         observed.push_back(std::move(voted));
     }
     report.corrected = report.rawFaults > report.residualFaults
@@ -247,27 +241,24 @@ MitigationLab::readSpatialTmr(MitigationReport &report) const
     report = MitigationReport{};
     report.extraBrams = tmrOverheadBrams();
 
-    std::vector<std::vector<std::uint16_t>> observed;
+    std::vector<std::vector<std::uint64_t>> observed;
     observed.reserve(image_.logicalBramCount());
     for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
          ++logical) {
         auto primary = readPhysical(placement_.physicalOf(logical));
         report.rawFaults +=
-            countDiffBits(image_.rowsOf(logical), primary);
+            fpga::diffPopcount(image_.wordsOf(logical), primary);
         if (hasReplica_[logical]) {
             const auto copy_a = readPhysical(replicaOf_[logical][0]);
             const auto copy_b = readPhysical(replicaOf_[logical][1]);
-            for (int row = 0; row < fpga::bramRows; ++row) {
-                const auto index = static_cast<std::size_t>(row);
-                // Bitwise 2-of-3 majority.
-                primary[index] = static_cast<std::uint16_t>(
-                    (primary[index] & copy_a[index]) |
-                    (primary[index] & copy_b[index]) |
-                    (copy_a[index] & copy_b[index]));
+            for (std::size_t w = 0; w < primary.size(); ++w) {
+                // Bitwise 2-of-3 majority, 64 cells per operation.
+                primary[w] = (primary[w] & copy_a[w]) |
+                    (primary[w] & copy_b[w]) | (copy_a[w] & copy_b[w]);
             }
         }
         report.residualFaults +=
-            countDiffBits(image_.rowsOf(logical), primary);
+            fpga::diffPopcount(image_.wordsOf(logical), primary);
         observed.push_back(std::move(primary));
     }
     report.corrected = report.rawFaults > report.residualFaults
@@ -282,31 +273,31 @@ MitigationLab::readSecded(MitigationReport &report) const
     report = MitigationReport{};
     report.extraBrams = secdedOverheadBrams();
 
-    std::vector<std::vector<std::uint16_t>> observed;
+    std::vector<std::vector<std::uint64_t>> observed;
     observed.reserve(image_.logicalBramCount());
     for (std::uint32_t logical = 0; logical < image_.logicalBramCount();
          ++logical) {
-        auto rows = readPhysical(placement_.physicalOf(logical));
-        report.rawFaults += countDiffBits(image_.rowsOf(logical), rows);
+        auto words = readPhysical(placement_.physicalOf(logical));
+        report.rawFaults +=
+            fpga::diffPopcount(image_.wordsOf(logical), words);
         if (checkOf_[logical].valid) {
-            const auto check_rows =
+            const auto check_words =
                 readPhysical(checkOf_[logical].physical);
             for (int row = 0; row < fpga::bramRows; ++row) {
-                const std::uint16_t packed = check_rows[
-                    static_cast<std::size_t>(
-                        checkOf_[logical].baseRow + row / 2)];
+                const std::uint16_t packed = fpga::rowOfWords(
+                    check_words, checkOf_[logical].baseRow + row / 2);
                 const auto check = static_cast<std::uint8_t>(
                     (row % 2 == 0 ? packed : packed >> 8) & 0x3F);
                 const SecdedResult decoded = secdedDecode(
-                    rows[static_cast<std::size_t>(row)], check);
-                rows[static_cast<std::size_t>(row)] = decoded.data;
+                    fpga::rowOfWords(words, row), check);
+                setRowOfWords(words, row, decoded.data);
                 if (decoded.status == SecdedStatus::DoubleDetected)
                     ++report.detectedUncorrectable;
             }
         }
         report.residualFaults +=
-            countDiffBits(image_.rowsOf(logical), rows);
-        observed.push_back(std::move(rows));
+            fpga::diffPopcount(image_.wordsOf(logical), words);
+        observed.push_back(std::move(words));
     }
     report.corrected = report.rawFaults > report.residualFaults
         ? report.rawFaults - report.residualFaults

@@ -118,8 +118,8 @@ class MitigationLab
     /** Re-write data, replica, and check BRAMs (reconfiguration). */
     void restoreAllStorage() const;
 
-    /** Crash-recovering physical readback (see Accelerator). */
-    std::vector<std::uint16_t>
+    /** Crash-recovering packed physical readback (see Accelerator). */
+    std::vector<std::uint64_t>
     readPhysical(std::uint32_t physical) const;
 
     pmbus::Board &board_;

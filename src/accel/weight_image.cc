@@ -29,7 +29,8 @@ WeightImage::WeightImage(const nn::QuantizedModel &model) : model_(model)
                                       layer.weights.size() - base);
             for (std::size_t w = 0; w < take; ++w)
                 rows[w] = layer.weights[base + w];
-            contents_.push_back(std::move(rows));
+            contents_.push_back(fpga::packRows(rows));
+            rows_.push_back(std::move(rows));
             layerOf_.push_back(span.layer);
         }
         spans_.push_back(span);
@@ -45,18 +46,27 @@ WeightImage::layerOf(std::uint32_t logical_bram) const
     return layerOf_[logical_bram];
 }
 
-const std::vector<std::uint16_t> &
-WeightImage::rowsOf(std::uint32_t logical_bram) const
+const std::vector<std::uint64_t> &
+WeightImage::wordsOf(std::uint32_t logical_bram) const
 {
     if (logical_bram >= contents_.size())
-        fatal("rowsOf: logical BRAM {} out of {}", logical_bram,
+        fatal("wordsOf: logical BRAM {} out of {}", logical_bram,
               contents_.size());
     return contents_[logical_bram];
 }
 
+const std::vector<std::uint16_t> &
+WeightImage::rowsOf(std::uint32_t logical_bram) const
+{
+    if (logical_bram >= rows_.size())
+        fatal("rowsOf: logical BRAM {} out of {}", logical_bram,
+              rows_.size());
+    return rows_[logical_bram];
+}
+
 nn::QuantizedModel
 WeightImage::decode(
-    const std::vector<std::vector<std::uint16_t>> &observed) const
+    const std::vector<std::vector<std::uint64_t>> &observed) const
 {
     if (observed.size() != contents_.size())
         fatal("decode: {} BRAM readbacks for an image of {}",
@@ -66,19 +76,36 @@ WeightImage::decode(
     for (const auto &span : spans_) {
         auto &layer = result.layers[static_cast<std::size_t>(span.layer)];
         for (std::uint32_t b = 0; b < span.bramCount; ++b) {
-            const auto &rows = observed[span.firstLogicalBram + b];
-            if (rows.size() != static_cast<std::size_t>(fpga::bramRows))
-                fatal("decode: BRAM readback with {} rows", rows.size());
+            const auto &words = observed[span.firstLogicalBram + b];
+            if (words.size() != static_cast<std::size_t>(fpga::bramWords))
+                fatal("decode: BRAM readback with {} packed words",
+                      words.size());
             const std::size_t base =
                 static_cast<std::size_t>(b) * weightsPerBram;
             const std::size_t take =
                 std::min<std::size_t>(weightsPerBram,
                                       layer.weights.size() - base);
-            for (std::size_t w = 0; w < take; ++w)
-                layer.weights[base + w] = rows[w];
+            for (std::size_t w = 0; w < take; ++w) {
+                layer.weights[base + w] =
+                    fpga::rowOfWords(words, static_cast<int>(w));
+            }
         }
     }
     return result;
+}
+
+nn::QuantizedModel
+WeightImage::decode(
+    const std::vector<std::vector<std::uint16_t>> &observed) const
+{
+    std::vector<std::vector<std::uint64_t>> packed;
+    packed.reserve(observed.size());
+    for (const auto &rows : observed) {
+        if (rows.size() != static_cast<std::size_t>(fpga::bramRows))
+            fatal("decode: BRAM readback with {} rows", rows.size());
+        packed.push_back(fpga::packRows(rows));
+    }
+    return decode(packed);
 }
 
 double

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fpga/fault_domain.hh"
 #include "nn/quantizer.hh"
 
 namespace uvolt::accel
@@ -54,15 +55,29 @@ class WeightImage
     /** Layer owning a logical BRAM. */
     int layerOf(std::uint32_t logical_bram) const;
 
-    /** 1024 row words of one logical BRAM (zero-padded tail). */
+    /**
+     * Packed contents of one logical BRAM (zero-padded tail): the
+     * fault-domain words programmed into the block, ready for
+     * Bram::assignWords() or diffPopcount() against a packed readback.
+     */
+    const std::vector<std::uint64_t> &
+    wordsOf(std::uint32_t logical_bram) const;
+
+    /** 1024 row words of one logical BRAM (compatibility shim). */
     const std::vector<std::uint16_t> &
     rowsOf(std::uint32_t logical_bram) const;
 
     /**
-     * Rebuild a quantized model from observed per-logical-BRAM contents
-     * (the readback path: formats/biases are carried over from the
-     * original model; only weight words are replaced).
+     * Rebuild a quantized model from observed packed per-logical-BRAM
+     * contents (the readback path: formats/biases are carried over from
+     * the original model; only weight words are replaced). Weight words
+     * are row lanes of the fault-domain words, extracted with
+     * fpga::rowOfWords instead of a per-row copy loop.
      */
+    nn::QuantizedModel
+    decode(const std::vector<std::vector<std::uint64_t>> &observed) const;
+
+    /** Compatibility overload over 16-bit row vectors. */
     nn::QuantizedModel
     decode(const std::vector<std::vector<std::uint16_t>> &observed) const;
 
@@ -72,7 +87,8 @@ class WeightImage
   private:
     nn::QuantizedModel model_;
     std::vector<LayerSpan> spans_;
-    std::vector<std::vector<std::uint16_t>> contents_;
+    std::vector<std::vector<std::uint64_t>> contents_; ///< packed words
+    std::vector<std::vector<std::uint16_t>> rows_;     ///< unpacked shim
     std::vector<int> layerOf_;
 };
 

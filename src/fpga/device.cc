@@ -1,5 +1,6 @@
 #include "fpga/device.hh"
 
+#include "fpga/fault_domain.hh"
 #include "util/logging.hh"
 
 namespace uvolt::fpga
@@ -13,6 +14,11 @@ Device::Device(const PlatformSpec &spec)
       vccInt_(RailId::VccInt, spec.vnomMv),
       vccAux_(RailId::VccAux, 1800)
 {
+    // SoA epoch wiring: the pool is sized once here and never
+    // reallocates, so handing each block a pointer to the device-wide
+    // counter is stable for the device's lifetime.
+    for (auto &bram : brams_)
+        bram.bindEpoch(&contentEpoch_);
 }
 
 Bram &
@@ -49,7 +55,7 @@ Device::totalOnes() const
 {
     std::uint64_t total = 0;
     for (const auto &bram : brams_)
-        total += static_cast<std::uint64_t>(bram.countOnes());
+        total += fpga::popcountWords(bram.words());
     return total;
 }
 

@@ -10,6 +10,7 @@
 #define UVOLT_FPGA_DEVICE_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fpga/bram.hh"
@@ -27,6 +28,11 @@ class Device
     /** Instantiate the chip described by @a spec with rails at nominal. */
     explicit Device(const PlatformSpec &spec);
 
+    // The BRAM pool shares one content-epoch counter with the device;
+    // copying would alias it across instances.
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+
     const PlatformSpec &spec() const { return spec_; }
     const Floorplan &floorplan() const { return floorplan_; }
 
@@ -39,6 +45,9 @@ class Device
     Bram &bram(std::uint32_t index);
     const Bram &bram(std::uint32_t index) const;
 
+    /** The whole pool, for span-level iteration without per-index checks. */
+    std::span<const Bram> brams() const { return brams_; }
+
     /** Fill every BRAM with the same row pattern (test initialization). */
     void fillAll(std::uint16_t pattern);
 
@@ -47,6 +56,12 @@ class Device
 
     /** Total "1" bitcells currently stored across the pool. */
     std::uint64_t totalOnes() const;
+
+    /**
+     * Content epoch of the whole pool: every mutation of any BRAM bumps
+     * it, so one compare validates a device-wide fault-count cache.
+     */
+    std::uint64_t contentEpoch() const { return contentEpoch_; }
 
     VoltageRail &rail(RailId id);
     const VoltageRail &rail(RailId id) const;
@@ -64,6 +79,7 @@ class Device
   private:
     PlatformSpec spec_;
     Floorplan floorplan_;
+    std::uint64_t contentEpoch_ = 0;
     std::vector<Bram> brams_;
     VoltageRail vccBram_;
     VoltageRail vccInt_;

@@ -132,20 +132,15 @@ countDeviceFaultsRecoverable(const Watchdog &watchdog)
     const double jitter = board.runJitterV();
     for (int recovery = 0; recovery <= watchdog.policy.maxRecoveriesPerRun;
          ++recovery) {
-        std::uint64_t total = 0;
-        bool crashed = false;
-        for (std::uint32_t b = 0; b < board.device().bramCount(); ++b) {
-            const auto count = board.tryCountBramFaults(b);
-            if (!count.ok()) {
-                if (count.code() != Errc::crashDetected)
-                    return count.error();
-                crashed = true;
-                break;
-            }
-            total += static_cast<std::uint64_t>(count.value());
-        }
-        if (!crashed)
-            return total;
+        // One device-level probe: streams the packed threshold ladders
+        // (memoized per content/voltage) on a quiet crash schedule, and
+        // degrades to the exact legacy per-BRAM probe loop when a
+        // spurious-crash schedule is armed.
+        const auto count = board.tryCountDeviceFaults();
+        if (count.ok())
+            return count.value();
+        if (count.code() != Errc::crashDetected)
+            return count.error();
         if (auto recovered = watchdog.recover(); !recovered.ok())
             return recovered.error();
         board.resumeRun(jitter);
@@ -337,7 +332,7 @@ collectReferenceMaps(SweepPoint &point, const Watchdog &watchdog)
         bool crashed = false;
         for (std::uint32_t b = 0; b < board.device().bramCount(); ++b) {
             faults.clear();
-            auto observed = board.tryReadBramToHost(b);
+            auto observed = board.tryReadBramPacked(b);
             if (!observed.ok()) {
                 if (observed.code() != Errc::crashDetected)
                     return observed.error();

@@ -7,6 +7,33 @@ namespace uvolt::harness
 {
 
 void
+diffBram(const fpga::Bram &written, fpga::WordSpan observed,
+         std::uint32_t bram, std::vector<FaultObservation> &out,
+         FaultSummary &summary)
+{
+    if (observed.size() != static_cast<std::size_t>(fpga::bramWords))
+        fatal("diffBram: observed data has {} packed words, expected {}",
+              observed.size(), fpga::bramWords);
+
+    const fpga::FaultDomain domain = fpga::FaultDomain::of(written, bram);
+    domain.visitFaults(observed, [&](fpga::BitAddress addr,
+                                     bool wrote_one) {
+        FaultObservation fault;
+        fault.bram = addr.bram;
+        fault.row = addr.row;
+        fault.col = addr.col;
+        fault.oneToZero = wrote_one;
+        out.push_back(fault);
+
+        ++summary.totalFaults;
+        if (fault.oneToZero)
+            ++summary.oneToZero;
+        else
+            ++summary.zeroToOne;
+    });
+}
+
+void
 diffBram(const fpga::Bram &written,
          const std::vector<std::uint16_t> &observed, std::uint32_t bram,
          std::vector<FaultObservation> &out, FaultSummary &summary)
@@ -14,30 +41,7 @@ diffBram(const fpga::Bram &written,
     if (observed.size() != static_cast<std::size_t>(fpga::bramRows))
         fatal("diffBram: observed data has {} rows, expected {}",
               observed.size(), fpga::bramRows);
-
-    for (int row = 0; row < fpga::bramRows; ++row) {
-        const std::uint16_t wrote =
-            written.readRow(row);
-        const std::uint16_t read = observed[static_cast<std::size_t>(row)];
-        std::uint16_t diff = static_cast<std::uint16_t>(wrote ^ read);
-        while (diff) {
-            const int col = __builtin_ctz(diff);
-            diff = static_cast<std::uint16_t>(diff & (diff - 1));
-
-            FaultObservation fault;
-            fault.bram = bram;
-            fault.row = static_cast<std::uint16_t>(row);
-            fault.col = static_cast<std::uint8_t>(col);
-            fault.oneToZero = (wrote >> col) & 1u;
-            out.push_back(fault);
-
-            ++summary.totalFaults;
-            if (fault.oneToZero)
-                ++summary.oneToZero;
-            else
-                ++summary.zeroToOne;
-        }
-    }
+    diffBram(written, fpga::packRows(observed), bram, out, summary);
 }
 
 double

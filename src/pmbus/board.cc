@@ -3,6 +3,7 @@
 #include <map>
 #include <mutex>
 
+#include "fpga/fault_domain.hh"
 #include "power/power_model.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
@@ -271,8 +272,8 @@ Board::effectiveVoltage() const
                                      effectiveAmbientC(), runJitterV_);
 }
 
-Expected<std::vector<std::uint16_t>>
-Board::tryReadBramToHost(std::uint32_t bram) const
+Expected<std::vector<std::uint64_t>>
+Board::tryReadBramPacked(std::uint32_t bram) const
 {
     boardMetrics().bramProbes.increment();
     if (!donePin() || crashFires()) {
@@ -282,13 +283,23 @@ Board::tryReadBramToHost(std::uint32_t bram) const
                          "(configuration lost at {} mV)",
                          spec().name, bram, vccBramMv());
     }
-    auto observed =
-        faults_->readBram(device_.bram(bram), bram, effectiveVoltage());
+    auto observed = faults_->readBramPacked(device_.bram(bram), bram,
+                                            effectiveVoltage());
     // Ship through the CRC-verified serial path, as the real setup does.
-    auto frame = link_.transferReliable(SerialLink::packWords(observed));
+    auto frame =
+        link_.transferReliable(SerialLink::packWordBytes(observed));
     if (!frame.ok())
         return frame.error();
-    return SerialLink::unpackWords(frame.value().payload);
+    return SerialLink::unpackWordBytes(frame.value().payload);
+}
+
+Expected<std::vector<std::uint16_t>>
+Board::tryReadBramToHost(std::uint32_t bram) const
+{
+    auto observed = tryReadBramPacked(bram);
+    if (!observed.ok())
+        return observed.error();
+    return fpga::unpackRows(observed.value());
 }
 
 std::vector<std::uint16_t>
@@ -323,6 +334,59 @@ int
 Board::countBramFaults(std::uint32_t bram) const
 {
     auto result = tryCountBramFaults(bram);
+    if (!result.ok()) {
+        if (result.code() == Errc::crashDetected)
+            fatal("{}: readback attempted below Vcrash (DONE pin low)",
+                  spec().name);
+        fatal("{}", result.error().message);
+    }
+    return result.value();
+}
+
+Expected<std::uint64_t>
+Board::tryCountDeviceFaults() const
+{
+    const std::uint32_t count = device_.bramCount();
+    if (crashCountdown_ >= 0) {
+        // An injected spurious-crash schedule is armed: replicate the
+        // per-BRAM probe loop exactly so the countdown stream and the
+        // mid-pass crash point match a caller that probed one BRAM at a
+        // time.
+        std::uint64_t total = 0;
+        for (std::uint32_t b = 0; b < count; ++b) {
+            const auto probed = tryCountBramFaults(b);
+            if (!probed.ok())
+                return probed.error();
+            total += static_cast<std::uint64_t>(probed.value());
+        }
+        return total;
+    }
+
+    boardMetrics().bramProbes.add(count);
+    if (!donePin()) {
+        boardMetrics().crashesDetected.increment();
+        return makeError(Errc::crashDetected,
+                         "{}: fault count of BRAM {} with DONE pin low "
+                         "(configuration lost at {} mV)",
+                         spec().name, 0, vccBramMv());
+    }
+    const double v = effectiveVoltage();
+    if (countMemoValid_ && countMemoEpoch_ == device_.contentEpoch() &&
+        countMemoV_ == v) {
+        return countMemoTotal_;
+    }
+    const std::uint64_t total = faults_->countDeviceFaults(device_, v);
+    countMemoValid_ = true;
+    countMemoEpoch_ = device_.contentEpoch();
+    countMemoV_ = v;
+    countMemoTotal_ = total;
+    return total;
+}
+
+std::uint64_t
+Board::countDeviceFaults() const
+{
+    auto result = tryCountDeviceFaults();
     if (!result.ok()) {
         if (result.code() == Errc::crashDetected)
             fatal("{}: readback attempted below Vcrash (DONE pin low)",

@@ -189,6 +189,15 @@ class Board
     tryReadBramToHost(std::uint32_t bram) const;
 
     /**
+     * Packed recoverable readback: the observed contents of one BRAM as
+     * bit-packed 64-bit fault-domain words, shipped through the same
+     * CRC-verified serial path (the wire byte stream is identical to the
+     * 16-bit-row form, so link noise behaves identically).
+     */
+    Expected<std::vector<std::uint64_t>>
+    tryReadBramPacked(std::uint32_t bram) const;
+
+    /**
      * Count faults in one BRAM against its written contents without
      * the serial transfer (fast path for large sweeps; bit-identical
      * outcome to diffing readBramToHost()).
@@ -197,6 +206,20 @@ class Board
 
     /** Recoverable fault count; crashDetected as tryReadBramToHost(). */
     Expected<int> tryCountBramFaults(std::uint32_t bram) const;
+
+    /**
+     * Device-wide fault count for the run in progress: the sweep inner
+     * loop. Equals summing tryCountBramFaults() over the pool bit for
+     * bit — including the per-BRAM probe accounting and the injected
+     * spurious-crash schedule when a harsh environment is attached —
+     * but on a quiet schedule it streams the packed threshold ladders
+     * and memoizes on (content epoch, effective voltage), so repeated
+     * runs at identical conditions cost a pair of compares.
+     */
+    Expected<std::uint64_t> tryCountDeviceFaults() const;
+
+    /** Fatal-on-error form of tryCountDeviceFaults(). */
+    std::uint64_t countDeviceFaults() const;
 
     /** Effective bitcell voltage under the current conditions. */
     double effectiveVoltage() const;
@@ -226,6 +249,12 @@ class Board
     std::uint64_t runsStarted_ = 0;
     mutable bool forcedCrash_ = false;
     mutable int crashCountdown_ = -1; ///< ops until injected crash; -1 off
+    // Device-count memo: valid while no BRAM content changed (epoch) and
+    // the effective bitcell voltage is exactly the same double.
+    mutable bool countMemoValid_ = false;
+    mutable std::uint64_t countMemoEpoch_ = 0;
+    mutable double countMemoV_ = 0.0;
+    mutable std::uint64_t countMemoTotal_ = 0;
     Rng runRng_;
 };
 

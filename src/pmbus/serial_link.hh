@@ -17,6 +17,7 @@
 #define UVOLT_PMBUS_SERIAL_LINK_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/error.hh"
@@ -88,6 +89,20 @@ class SerialLink
     /** Inverse of packWords. */
     static std::vector<std::uint16_t>
     unpackWords(const std::vector<std::uint8_t> &bytes);
+
+    /**
+     * Serialize packed 64-bit fault-domain words little-endian. The wire
+     * format is unchanged: byte k of word w carries bit offsets
+     * 64w+8k .. 64w+8k+7, exactly the stream packWords() produced from
+     * the same contents as 16-bit rows — so CRC values, frame sizes and
+     * injected-corruption positions are byte-identical.
+     */
+    static std::vector<std::uint8_t>
+    packWordBytes(std::span<const std::uint64_t> words);
+
+    /** Inverse of packWordBytes. */
+    static std::vector<std::uint64_t>
+    unpackWordBytes(const std::vector<std::uint8_t> &bytes);
 
   private:
     LinkStats stats_;

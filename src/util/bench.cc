@@ -139,6 +139,14 @@ Registry::runOne(const std::string &name,
     const double min_ns = std::max(0.0, options.minTimeMs) * 1e6;
     std::uint64_t iterations = 1;
     Repeat probe = runRepeat(*fn, iterations);
+    // The very first iteration bears every lazy one-time cost of the
+    // bench body (fault-model synthesis, page faults, cache fills) and
+    // can exceed the time floor on its own, which would freeze
+    // calibration at one iteration per repeat and time nothing but
+    // cold starts. Probe once more warm before trusting a "one
+    // iteration is enough" verdict.
+    if (probe.wallNs >= min_ns)
+        probe = runRepeat(*fn, iterations);
     while (probe.wallNs * static_cast<double>(iterations) < min_ns &&
            iterations < (1ull << 40)) {
         const double want = min_ns / std::max(probe.wallNs, 1e-3);

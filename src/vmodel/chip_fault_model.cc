@@ -1,7 +1,9 @@
 #include "vmodel/chip_fault_model.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <numeric>
 #include <unordered_set>
 
 #include "util/logging.hh"
@@ -9,6 +11,19 @@
 
 namespace uvolt::vmodel
 {
+
+std::size_t
+ThresholdLadder::activeCount(double effective_v) const
+{
+    // Thresholds are sorted descending, so the cells that fail at this
+    // voltage (effective_v < threshold, float promoted to double exactly
+    // as the scalar walker compared) are a prefix.
+    const auto end = std::partition_point(
+        thresholds.begin(), thresholds.end(), [effective_v](float t) {
+            return static_cast<double>(t) > effective_v;
+        });
+    return static_cast<std::size_t>(end - thresholds.begin());
+}
 
 ChipFaultModel::ChipFaultModel(const fpga::PlatformSpec &spec,
                                const fpga::Floorplan &floorplan,
@@ -107,6 +122,42 @@ ChipFaultModel::ChipFaultModel(const fpga::PlatformSpec &spec,
     }
     if (most_marginal)
         most_marginal->thresholdV = static_cast<float>(threshold_cap);
+
+    buildLadders();
+}
+
+void
+ChipFaultModel::buildLadders()
+{
+    ladder10_.resize(cells_.size());
+    ladder01_.resize(cells_.size());
+    for (std::size_t b = 0; b < cells_.size(); ++b) {
+        const auto &list = cells_[b];
+        // Order cells by descending threshold so the set active at any
+        // voltage is a prefix. Ties can land in either order: counting
+        // is a sum over the prefix and the single-bit masks are
+        // disjoint, so the results are order-independent.
+        std::vector<std::uint32_t> order(list.size());
+        std::iota(order.begin(), order.end(), 0u);
+        std::stable_sort(order.begin(), order.end(),
+                         [&list](std::uint32_t a, std::uint32_t c) {
+                             return list[a].thresholdV >
+                                 list[c].thresholdV;
+                         });
+        for (std::uint32_t i : order) {
+            const WeakCell &cell = list[i];
+            const auto addr = fpga::BitAddress::fromBitOffset(
+                static_cast<std::uint32_t>(b),
+                static_cast<std::uint32_t>(cell.row) *
+                        static_cast<std::uint32_t>(fpga::bramCols) +
+                    cell.col);
+            ThresholdLadder &ladder =
+                cell.oneToZero ? ladder10_[b] : ladder01_[b];
+            ladder.thresholds.push_back(cell.thresholdV);
+            ladder.words.push_back(addr.wordIndex());
+            ladder.masks.push_back(addr.wordMask());
+        }
+    }
 }
 
 const std::vector<WeakCell> &
@@ -115,6 +166,22 @@ ChipFaultModel::weakCells(std::uint32_t bram) const
     if (bram >= cells_.size())
         fatal("weakCells: BRAM {} out of pool of {}", bram, cells_.size());
     return cells_[bram];
+}
+
+const ThresholdLadder &
+ChipFaultModel::ladderOneToZero(std::uint32_t bram) const
+{
+    if (bram >= ladder10_.size())
+        fatal("ladder: BRAM {} out of pool of {}", bram, ladder10_.size());
+    return ladder10_[bram];
+}
+
+const ThresholdLadder &
+ChipFaultModel::ladderZeroToOne(std::uint32_t bram) const
+{
+    if (bram >= ladder01_.size())
+        fatal("ladder: BRAM {} out of pool of {}", bram, ladder01_.size());
+    return ladder01_[bram];
 }
 
 double
@@ -129,23 +196,60 @@ ChipFaultModel::effectiveVoltage(double rail_v, double temp_c,
     return rail_v + itd_boost + jitter_v;
 }
 
+void
+ChipFaultModel::applyFaults(std::span<std::uint64_t> words,
+                            std::uint32_t bram, double effective_v) const
+{
+    if (bram >= ladder10_.size())
+        fatal("applyFaults: BRAM {} out of pool of {}", bram,
+              ladder10_.size());
+    const ThresholdLadder &drop = ladder10_[bram];
+    const std::size_t drops = drop.activeCount(effective_v);
+    for (std::size_t i = 0; i < drops; ++i)
+        words[drop.words[i]] &= ~drop.masks[i];
+    const ThresholdLadder &rise = ladder01_[bram];
+    const std::size_t rises = rise.activeCount(effective_v);
+    for (std::size_t i = 0; i < rises; ++i)
+        words[rise.words[i]] |= rise.masks[i];
+}
+
+std::vector<std::uint64_t>
+ChipFaultModel::readBramPacked(const fpga::Bram &written,
+                               std::uint32_t bram,
+                               double effective_v) const
+{
+    const auto words = written.words();
+    std::vector<std::uint64_t> observed(words.begin(), words.end());
+    applyFaults(observed, bram, effective_v);
+    return observed;
+}
+
 std::vector<std::uint16_t>
 ChipFaultModel::readBram(const fpga::Bram &written, std::uint32_t bram,
                          double effective_v) const
 {
-    auto rows = written.rows();
-    std::vector<std::uint16_t> observed(rows.begin(), rows.end());
-    for (const WeakCell &cell : weakCells(bram)) {
-        if (effective_v >= cell.thresholdV)
-            continue;
-        auto &word = observed[cell.row];
-        const auto mask = static_cast<std::uint16_t>(1u << cell.col);
-        if (cell.oneToZero)
-            word = static_cast<std::uint16_t>(word & ~mask);
-        else
-            word = static_cast<std::uint16_t>(word | mask);
-    }
-    return observed;
+    return fpga::unpackRows(readBramPacked(written, bram, effective_v));
+}
+
+int
+ChipFaultModel::countFaults(fpga::WordSpan written, std::uint32_t bram,
+                            double effective_v) const
+{
+    if (bram >= ladder10_.size())
+        fatal("countFaults: BRAM {} out of pool of {}", bram,
+              ladder10_.size());
+    int faults = 0;
+    // Single-bit masks, so each popcount contributes 0 or 1: a 1->0 cell
+    // faults when the written bit is set, a 0->1 cell when it is clear.
+    const ThresholdLadder &drop = ladder10_[bram];
+    const std::size_t drops = drop.activeCount(effective_v);
+    for (std::size_t i = 0; i < drops; ++i)
+        faults += std::popcount(written[drop.words[i]] & drop.masks[i]);
+    const ThresholdLadder &rise = ladder01_[bram];
+    const std::size_t rises = rise.activeCount(effective_v);
+    for (std::size_t i = 0; i < rises; ++i)
+        faults += std::popcount(~written[rise.words[i]] & rise.masks[i]);
+    return faults;
 }
 
 int
@@ -153,11 +257,31 @@ ChipFaultModel::countBramFaults(const fpga::Bram &written,
                                 std::uint32_t bram,
                                 double effective_v) const
 {
+    return countFaults(written.words(), bram, effective_v);
+}
+
+std::uint64_t
+ChipFaultModel::countDeviceFaults(const fpga::Device &device,
+                                  double effective_v) const
+{
+    std::uint64_t total = 0;
+    std::uint32_t b = 0;
+    for (const fpga::Bram &bram : device.brams())
+        total += static_cast<std::uint64_t>(
+            countFaults(bram.words(), b++, effective_v));
+    return total;
+}
+
+int
+ChipFaultModel::countBramFaultsReference(const fpga::Bram &written,
+                                         std::uint32_t bram,
+                                         double effective_v) const
+{
     int faults = 0;
     for (const WeakCell &cell : weakCells(bram)) {
         if (effective_v >= cell.thresholdV)
             continue;
-        const bool stored = written.getBit(cell.row, cell.col);
+        const bool stored = written.testBit(cell.row, cell.col);
         if (cell.oneToZero ? stored : !stored)
             ++faults;
     }

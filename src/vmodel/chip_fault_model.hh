@@ -25,9 +25,12 @@
 #define UVOLT_VMODEL_CHIP_FAULT_MODEL_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fpga/bram.hh"
+#include "fpga/device.hh"
+#include "fpga/fault_domain.hh"
 #include "fpga/floorplan.hh"
 #include "fpga/platform.hh"
 #include "vmodel/process_variation.hh"
@@ -46,6 +49,25 @@ struct WeakCell
 
 /** Share of weak cells whose failure polarity is "1"->"0". */
 constexpr double oneToZeroShare = 0.999;
+
+/**
+ * Precomputed packed threshold masks of one BRAM and one polarity:
+ * weak cells sorted by descending failure threshold in SoA layout, so
+ * the cells active at voltage v are exactly a prefix (found by one
+ * binary search) and fault injection/counting over that prefix is
+ * AND/XOR + std::popcount against the packed data words.
+ */
+struct ThresholdLadder
+{
+    std::vector<float> thresholds;     ///< descending
+    std::vector<std::uint32_t> words;  ///< packed word index per cell
+    std::vector<std::uint64_t> masks;  ///< single-bit mask per cell
+
+    /** Cells whose threshold exceeds @a effective_v (active prefix). */
+    std::size_t activeCount(double effective_v) const;
+
+    std::size_t size() const { return thresholds.size(); }
+};
 
 /** Reference ambient for all calibration anchors (degC). */
 constexpr double referenceTempC = 50.0;
@@ -90,11 +112,59 @@ class ChipFaultModel
                                         double effective_v) const;
 
     /**
+     * Packed readback: the observed contents as 256 bit-packed 64-bit
+     * words. The hot-path form of readBram(): one 2 KiB copy plus an
+     * AND/XOR per active weak cell, no per-bitcell work.
+     */
+    std::vector<std::uint64_t> readBramPacked(const fpga::Bram &written,
+                                              std::uint32_t bram,
+                                              double effective_v) const;
+
+    /**
+     * Inject this BRAM's active faults into a packed stream in place:
+     * active 1->0 cells clear their bit (AND with the inverted mask),
+     * active 0->1 cells set it (OR). Equivalent to what readBram()
+     * applies to the written rows.
+     */
+    void applyFaults(std::span<std::uint64_t> words, std::uint32_t bram,
+                     double effective_v) const;
+
+    /**
      * Count the observable faults in one BRAM for its current content
      * without materializing the read (faster path used by sweeps).
      */
     int countBramFaults(const fpga::Bram &written, std::uint32_t bram,
                         double effective_v) const;
+
+    /**
+     * Packed fault count over an arbitrary fault-domain span:
+     * popcount of (written AND active 1->0 masks) plus popcount of
+     * (NOT written AND active 0->1 masks).
+     */
+    int countFaults(fpga::WordSpan written, std::uint32_t bram,
+                    double effective_v) const;
+
+    /**
+     * Device-wide fault count at one effective voltage: the sweep inner
+     * loop. Streams every BRAM's packed words against its threshold
+     * ladders; no per-bitcell or per-call overhead.
+     */
+    std::uint64_t countDeviceFaults(const fpga::Device &device,
+                                    double effective_v) const;
+
+    /**
+     * The legacy scalar walker: per weak cell, one threshold compare and
+     * one bitcell probe. Kept as the executable specification the packed
+     * path is property-tested against (and as the BitAddress-based
+     * compatibility shim for exact-iteration-order consumers).
+     */
+    int countBramFaultsReference(const fpga::Bram &written,
+                                 std::uint32_t bram,
+                                 double effective_v) const;
+
+    /** The precomputed packed ladders of one BRAM (testing/diagnostics). */
+    const ThresholdLadder &ladderOneToZero(std::uint32_t bram) const;
+    const ThresholdLadder &ladderZeroToOne(std::uint32_t bram) const;
 
     /**
      * Expected observable fault count for the whole chip at the given
@@ -107,9 +177,14 @@ class ChipFaultModel
     const std::vector<double> &vulnerability() const { return lambda_; }
 
   private:
+    /** Precompute the per-BRAM packed ladders from cells_. */
+    void buildLadders();
+
     fpga::PlatformSpec spec_;
     std::vector<double> lambda_;
     std::vector<std::vector<WeakCell>> cells_; // per BRAM, sorted
+    std::vector<ThresholdLadder> ladder10_;    // 1->0, descending thr
+    std::vector<ThresholdLadder> ladder01_;    // 0->1, descending thr
     std::size_t totalWeakCells_ = 0;
 };
 

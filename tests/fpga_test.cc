@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "fpga/bram.hh"
 #include "fpga/device.hh"
+#include "fpga/fault_domain.hh"
 #include "fpga/floorplan.hh"
 #include "fpga/platform.hh"
 #include "fpga/voltage_rail.hh"
@@ -40,12 +44,27 @@ TEST(BramTest, RowReadWrite)
 TEST(BramTest, BitAccess)
 {
     Bram bram;
-    bram.setBit(5, 3, true);
-    EXPECT_TRUE(bram.getBit(5, 3));
-    EXPECT_FALSE(bram.getBit(5, 2));
+    bram.assignBit(5, 3, true);
+    EXPECT_TRUE(bram.testBit(5, 3));
+    EXPECT_FALSE(bram.testBit(5, 2));
     EXPECT_EQ(bram.readRow(5), 1u << 3);
-    bram.setBit(5, 3, false);
+    bram.assignBit(5, 3, false);
     EXPECT_EQ(bram.readRow(5), 0);
+}
+
+TEST(BramTest, DeprecatedBitShimDelegates)
+{
+    // The retired per-bitcell accessors must keep working for out-of-
+    // tree callers until removal; silence our own deprecation warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    Bram bram;
+    bram.setBit(7, 11, true);
+    EXPECT_TRUE(bram.getBit(7, 11));
+    EXPECT_TRUE(bram.testBit(7, 11));
+    bram.setBit(7, 11, false);
+    EXPECT_FALSE(bram.getBit(7, 11));
+#pragma GCC diagnostic pop
 }
 
 TEST(BramTest, FillAndCountOnes)
@@ -59,10 +78,124 @@ TEST(BramTest, FillAndCountOnes)
     EXPECT_EQ(bram.countOnes(), 0);
 }
 
+TEST(BramTest, PackedWordsMatchRowLanes)
+{
+    Bram bram;
+    bram.writeRow(0, 0x1111);
+    bram.writeRow(1, 0x2222);
+    bram.writeRow(2, 0x3333);
+    bram.writeRow(3, 0x4444);
+    const auto words = bram.words();
+    ASSERT_EQ(words.size(), static_cast<std::size_t>(bramWords));
+    // Four 16-bit rows pack little-lane-first into one 64-bit word.
+    EXPECT_EQ(words[0], 0x4444333322221111ull);
+    for (int row = 0; row < 4; ++row)
+        EXPECT_EQ(rowOfWords(words, row), bram.readRow(row));
+}
+
+TEST(BramTest, RowsRoundTripThroughPackedPlane)
+{
+    Bram bram;
+    for (int row = 0; row < bramRows; ++row)
+        bram.writeRow(row, static_cast<std::uint16_t>(row * 2654435761u));
+    const std::vector<std::uint16_t> rows = bram.toRows();
+    ASSERT_EQ(rows.size(), static_cast<std::size_t>(bramRows));
+    for (int row = 0; row < bramRows; row += 97)
+        EXPECT_EQ(rows[static_cast<std::size_t>(row)], bram.readRow(row));
+
+    Bram copy;
+    copy.assignRows(rows);
+    EXPECT_TRUE(std::equal(copy.words().begin(), copy.words().end(),
+                           bram.words().begin()));
+
+    Bram packed;
+    packed.assignWords(bram.words());
+    EXPECT_EQ(packed.toRows(), rows);
+    EXPECT_EQ(packed.countOnes(), bram.countOnes());
+}
+
+TEST(BramTest, ParityPlaneNeverReachesFaultDomain)
+{
+    Bram bram;
+    bram.fill(0xAAAA);
+    const int data_ones = bram.countOnes();
+    const std::uint64_t domain_ones = popcountWords(bram.words());
+    EXPECT_EQ(bram.parityOnes(), 0); // lazily allocated, starts empty
+
+    bram.setParityBit(0, 0, true);
+    bram.setParityBit(511, 1, true);
+    bram.setParityBit(1023, 0, true);
+    EXPECT_TRUE(bram.parityBit(0, 0));
+    EXPECT_FALSE(bram.parityBit(0, 1));
+    EXPECT_TRUE(bram.parityBit(1023, 0));
+    EXPECT_EQ(bram.parityOnes(), 3);
+
+    // Parity lives on its own plane: the data fault domain is unchanged.
+    EXPECT_EQ(bram.countOnes(), data_ones);
+    EXPECT_EQ(popcountWords(bram.words()), domain_ones);
+    EXPECT_EQ(FaultDomain::of(bram, 0).ones(), domain_ones);
+}
+
+TEST(BramTest, EpochBumpsOnEveryMutation)
+{
+    Bram bram;
+    std::uint64_t last = bram.epoch();
+    const auto bumped = [&] {
+        const std::uint64_t now = bram.epoch();
+        const bool changed = now != last;
+        last = now;
+        return changed;
+    };
+
+    bram.writeRow(0, 0xBEEF);
+    EXPECT_TRUE(bumped());
+    bram.fill(0xFFFF);
+    EXPECT_TRUE(bumped());
+    bram.assignBit(1, 1, true);
+    EXPECT_TRUE(bumped());
+    bram.setParityBit(2, 0, true);
+    EXPECT_TRUE(bumped());
+    const std::vector<std::uint64_t> image(
+        static_cast<std::size_t>(bramWords), 0);
+    bram.assignWords(image);
+    EXPECT_TRUE(bumped());
+
+    // Reads leave the epoch alone.
+    (void)bram.readRow(0);
+    (void)bram.testBit(1, 1);
+    (void)bram.countOnes();
+    EXPECT_FALSE(bumped());
+}
+
 TEST(BitAddressTest, Offsets)
 {
     BitAddress addr{7, 2, 3};
     EXPECT_EQ(addr.bitOffset(), 2u * 16u + 3u);
+    EXPECT_EQ(addr.wordIndex(), (2u * 16u + 3u) / 64u);
+    EXPECT_EQ(addr.wordBit(), (2u * 16u + 3u) % 64u);
+    EXPECT_EQ(addr.wordMask(), std::uint64_t{1} << addr.wordBit());
+}
+
+TEST(BitAddressTest, RoundTripPackedCoordinates)
+{
+    for (std::uint32_t offset = 0;
+         offset < static_cast<std::uint32_t>(bramBits); offset += 41) {
+        const BitAddress addr = BitAddress::fromBitOffset(9, offset);
+        EXPECT_EQ(addr.bram, 9u);
+        EXPECT_EQ(addr.bitOffset(), offset);
+        EXPECT_LT(addr.row, bramRows);
+        EXPECT_LT(addr.col, bramCols);
+
+        const BitAddress back = BitAddress::fromWordCoords(
+            addr.bram, addr.wordIndex(), addr.wordBit());
+        EXPECT_EQ(back, addr);
+    }
+    // The extremes in particular.
+    EXPECT_EQ(BitAddress::fromBitOffset(0, 0), (BitAddress{0, 0, 0}));
+    EXPECT_EQ(
+        BitAddress::fromBitOffset(
+            3, static_cast<std::uint32_t>(bramBits) - 1),
+        (BitAddress{3, bramRows - 1, bramCols - 1}));
 }
 
 TEST(FloorplanTest, ColumnGridExactFit)
@@ -238,6 +371,26 @@ TEST(DeviceTest, FillAllAndTotalOnes)
     EXPECT_EQ(device.totalOnes(), device.totalBits());
     device.fillAll(0xAAAA);
     EXPECT_EQ(device.totalOnes(), device.totalBits() / 2);
+}
+
+TEST(DeviceTest, ContentEpochSharedAcrossPool)
+{
+    Device device(findPlatform("ZC702"));
+    const std::uint64_t before = device.contentEpoch();
+    device.bram(0).writeRow(0, 0x1234);
+    EXPECT_GT(device.contentEpoch(), before);
+
+    // Any BRAM of the pool bumps the same counter ...
+    const std::uint64_t mid = device.contentEpoch();
+    device.bram(279).fill(0xFFFF);
+    EXPECT_GT(device.contentEpoch(), mid);
+
+    // ... and a detached copy stops doing so.
+    Bram copy = device.bram(0);
+    const std::uint64_t after = device.contentEpoch();
+    copy.writeRow(1, 0x5678);
+    EXPECT_EQ(device.contentEpoch(), after);
+    EXPECT_GT(copy.epoch(), 0u);
 }
 
 TEST(DeviceTest, CrashSemantics)

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "fpga/fault_domain.hh"
 #include "harness/clusterer.hh"
 #include "harness/experiment.hh"
 #include "harness/fault_analyzer.hh"
@@ -73,6 +74,37 @@ TEST(FaultAnalyzerTest, DiffFindsPolarities)
     EXPECT_FALSE(faults[1].oneToZero);
     EXPECT_EQ(summary.totalFaults, 2u);
     EXPECT_DOUBLE_EQ(summary.oneToZeroFraction(), 0.5);
+}
+
+TEST(FaultAnalyzerTest, PackedDiffMatchesRowsDiff)
+{
+    fpga::Bram written;
+    for (int row = 0; row < fpga::bramRows; ++row)
+        written.writeRow(row, static_cast<std::uint16_t>(row * 40503u));
+
+    // Corrupt a scatter of bits in both polarities.
+    std::vector<std::uint16_t> observed_rows = written.toRows();
+    for (int row = 0; row < fpga::bramRows; row += 67)
+        observed_rows[static_cast<std::size_t>(row)] ^=
+            static_cast<std::uint16_t>(1u << (row % 16));
+
+    std::vector<FaultObservation> from_rows, from_packed;
+    FaultSummary rows_summary, packed_summary;
+    diffBram(written, observed_rows, 5, from_rows, rows_summary);
+    diffBram(written, fpga::packRows(observed_rows), 5, from_packed,
+             packed_summary);
+
+    ASSERT_EQ(from_packed.size(), from_rows.size());
+    ASSERT_GT(from_rows.size(), 0u);
+    for (std::size_t i = 0; i < from_rows.size(); ++i) {
+        EXPECT_EQ(from_packed[i].bram, from_rows[i].bram);
+        EXPECT_EQ(from_packed[i].row, from_rows[i].row);
+        EXPECT_EQ(from_packed[i].col, from_rows[i].col);
+        EXPECT_EQ(from_packed[i].oneToZero, from_rows[i].oneToZero);
+    }
+    EXPECT_EQ(packed_summary.totalFaults, rows_summary.totalFaults);
+    EXPECT_EQ(packed_summary.oneToZero, rows_summary.oneToZero);
+    EXPECT_EQ(packed_summary.zeroToOne, rows_summary.zeroToOne);
 }
 
 TEST(FaultAnalyzerTest, PerMbitConversion)

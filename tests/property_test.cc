@@ -11,9 +11,12 @@
 #include <cmath>
 #include <numeric>
 
+#include <atomic>
+
 #include "accel/placement.hh"
 #include "accel/weight_image.hh"
 #include "fpga/device.hh"
+#include "fpga/fault_domain.hh"
 #include "fpga/platform.hh"
 #include "fxp/fixed_point.hh"
 #include "harness/experiment.hh"
@@ -21,6 +24,7 @@
 #include "pmbus/board.hh"
 #include "power/power_model.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 #include "vmodel/chip_fault_model.hh"
 
 namespace uvolt
@@ -229,6 +233,126 @@ TEST_P(PatternDensityProperties, FaultsProportionalToOnesDensity)
 
 INSTANTIATE_TEST_SUITE_P(Densities, PatternDensityProperties,
                          ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+// ---------------------------------------------------------------------
+// Packed fault domains: the popcount kernel is bit-for-bit the scalar
+// reference walker, across dies, voltages, patterns, and worker counts
+// ---------------------------------------------------------------------
+
+class PackedFaultDomainProperties
+    : public ::testing::TestWithParam<std::size_t> // ThreadPool workers
+{
+};
+
+TEST_P(PackedFaultDomainProperties, PackedEqualsScalarReference)
+{
+    // gtest assertions are not thread-safe, so worker jobs only count
+    // mismatches; the main thread asserts once the pool drains.
+    ThreadPool pool(GetParam());
+    std::atomic<std::uint64_t> mismatches{0};
+
+    for (const char *name : {"VC707", "ZC702", "KC705-A", "KC705-B"}) {
+        pool.submit([name, &mismatches] {
+            const fpga::PlatformSpec &spec = fpga::findPlatform(name);
+            const vmodel::ChipFaultModel model(
+                spec, fpga::Floorplan::columnGrid(spec.bramCount,
+                                                  spec.columnHeight));
+            fpga::Bram bram;
+            Rng rng(combineSeeds(hashSeed(name), 0xFD));
+
+            const double v_lo = spec.calib.bramVcrashMv / 1000.0 - 0.01;
+            const double v_hi = spec.calib.bramVminMv / 1000.0 + 0.01;
+            const std::uint32_t stride = spec.bramCount / 13 + 1;
+
+            for (int trial = 0; trial < 3; ++trial) {
+                // Random pattern of random "1" density.
+                const double density = rng.uniform();
+                for (int row = 0; row < fpga::bramRows; ++row) {
+                    std::uint16_t value = 0;
+                    for (int col = 0; col < fpga::bramCols; ++col) {
+                        if (rng.uniform() < density)
+                            value |= static_cast<std::uint16_t>(1u << col);
+                    }
+                    bram.writeRow(row, value);
+                }
+                for (std::uint32_t b = 0; b < spec.bramCount;
+                     b += stride) {
+                    const double v = rng.uniform(v_lo, v_hi);
+                    const int packed = model.countFaults(
+                        bram.words(), b, v);
+                    const int reference =
+                        model.countBramFaultsReference(bram, b, v);
+                    if (packed != reference)
+                        ++mismatches;
+                    // The materialized readbacks agree bit for bit too.
+                    const auto rows = model.readBram(bram, b, v);
+                    const auto words = model.readBramPacked(bram, b, v);
+                    if (fpga::unpackRows(words) != rows)
+                        ++mismatches;
+                    if (fpga::packRows(rows) != words)
+                        ++mismatches;
+                }
+            }
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(mismatches.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, PackedFaultDomainProperties,
+                         ::testing::Values(0u, 1u, 8u));
+
+TEST(PackedFaultDomainProperties, PopcountMatchesNaiveBitCount)
+{
+    Rng rng(0xB17C0DE);
+    std::vector<std::uint64_t> a(fpga::bramWords), b(fpga::bramWords);
+    for (int trial = 0; trial < 20; ++trial) {
+        for (int w = 0; w < fpga::bramWords; ++w) {
+            a[static_cast<std::size_t>(w)] = rng();
+            b[static_cast<std::size_t>(w)] = rng();
+        }
+        std::uint64_t naive_ones = 0, naive_diff = 0;
+        for (int w = 0; w < fpga::bramWords; ++w) {
+            for (int bit = 0; bit < fpga::bramWordBits; ++bit) {
+                const std::uint64_t mask = std::uint64_t{1} << bit;
+                naive_ones +=
+                    (a[static_cast<std::size_t>(w)] & mask) != 0;
+                naive_diff += ((a[static_cast<std::size_t>(w)] ^
+                                b[static_cast<std::size_t>(w)]) &
+                               mask) != 0;
+            }
+        }
+        EXPECT_EQ(fpga::popcountWords(a), naive_ones);
+        EXPECT_EQ(fpga::diffPopcount(a, b), naive_diff);
+
+        // The set-bit visitor walks exactly the naive count, ascending.
+        std::uint64_t visited = 0;
+        std::uint32_t last_offset = 0;
+        fpga::forEachSetBit(a, [&](std::uint32_t offset) {
+            EXPECT_TRUE(visited == 0 || offset > last_offset);
+            last_offset = offset;
+            ++visited;
+        });
+        EXPECT_EQ(visited, naive_ones);
+    }
+}
+
+TEST(PackedFaultDomainProperties, PackUnpackRoundTrip)
+{
+    Rng rng(0x9A57);
+    std::vector<std::uint16_t> rows(fpga::bramRows);
+    for (int trial = 0; trial < 10; ++trial) {
+        for (auto &row : rows)
+            row = static_cast<std::uint16_t>(rng());
+        const auto words = fpga::packRows(rows);
+        ASSERT_EQ(words.size(), static_cast<std::size_t>(fpga::bramWords));
+        EXPECT_EQ(fpga::unpackRows(words), rows);
+        for (int row = 0; row < fpga::bramRows; row += 131) {
+            EXPECT_EQ(fpga::rowOfWords(words, row),
+                      rows[static_cast<std::size_t>(row)]);
+        }
+    }
+}
 
 // ---------------------------------------------------------------------
 // Placement seeds: injectivity and coverage under arbitrary seeds

@@ -273,6 +273,40 @@ TEST(ChipFaultModel, ReadBramAppliesPolarity)
     EXPECT_EQ(flipped, expected_flips);
 }
 
+TEST(ChipFaultModel, ParityBitsNeverLeakIntoFaultCounts)
+{
+    // Regression for the packed layout: planting "faults" in the parity
+    // plane (2 bits/row the paper excludes) must leave every popcount-
+    // based fault total and the packed readback untouched, because the
+    // parity plane is structurally absent from the data fault domain.
+    const PlatformSpec &spec = findPlatform("ZC702");
+    const ChipFaultModel model(spec, planOf(spec));
+    fpga::Device device(spec);
+    device.fillAll(0xFFFF);
+    const double v = spec.calib.bramVcrashMv / 1000.0;
+
+    const std::uint64_t device_before = model.countDeviceFaults(device, v);
+    const int bram_before = model.countBramFaults(device.bram(0), 0, v);
+    const auto packed_before = model.readBramPacked(device.bram(0), 0, v);
+    ASSERT_GT(device_before, 0u);
+
+    for (std::uint32_t b = 0; b < spec.bramCount; ++b) {
+        for (int row = 0; row < fpga::bramRows; row += 3) {
+            device.bram(b).setParityBit(row, 0, true);
+            device.bram(b).setParityBit(row, 1, true);
+        }
+    }
+    EXPECT_GT(device.bram(0).parityOnes(), 0);
+
+    EXPECT_EQ(model.countDeviceFaults(device, v), device_before);
+    EXPECT_EQ(model.countBramFaults(device.bram(0), 0, v), bram_before);
+    EXPECT_EQ(model.countBramFaultsReference(device.bram(0), 0, v),
+              bram_before);
+    EXPECT_EQ(model.readBramPacked(device.bram(0), 0, v), packed_before);
+    EXPECT_EQ(fpga::popcountWords(device.bram(0).words()),
+              static_cast<std::uint64_t>(fpga::bramBits));
+}
+
 TEST(ChipFaultModel, ItdReducesFaultsAtHigherTemperature)
 {
     const PlatformSpec &spec = findPlatform("VC707");
