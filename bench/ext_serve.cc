@@ -27,6 +27,15 @@
  * Exit status is the robustness verdict: nonzero when identity or the
  * exactly-once accounting fails — the CI soak leg runs this binary
  * under TSan with --noise and trusts the exit code.
+ *
+ * With telemetry on the run also leaves the full observability record
+ * behind: a Chrome trace (--trace-out) where each sampled request is
+ * one connected flow across admission -> queue -> worker, a Prometheus
+ * text snapshot (--prom-out), any flight-recorder blackboxes
+ * (--blackbox-dir; a scripted pressure storm under --noise guarantees
+ * at least one degradation dump), and a run-ledger manifest recording
+ * where all of it went. scripts/check_trace.py validates the lot in
+ * the CI observability leg.
  */
 
 #include <algorithm>
@@ -41,15 +50,21 @@
 #include <utility>
 #include <vector>
 
+#include <ctime>
+
 #include "data/synthetic.hh"
 #include "harness/experiment.hh"
+#include "harness/ledger.hh"
+#include "harness/report.hh"
 #include "nn/network.hh"
 #include "pmbus/fault_injector.hh"
 #include "serve/server.hh"
 #include "util/bench.hh"
 #include "util/cli.hh"
+#include "util/flight_recorder.hh"
 #include "util/format.hh"
 #include "util/table.hh"
+#include "util/telemetry.hh"
 
 using namespace uvolt;
 
@@ -179,6 +194,19 @@ msSince(const std::chrono::steady_clock::time_point &start)
         .count();
 }
 
+/** UTC wall clock as "2026-08-05T12:34:56Z". */
+std::string
+nowIso8601()
+{
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm utc = {};
+    gmtime_r(&now, &utc);
+    return strFormat("{}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+                     utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday,
+                     utc.tm_hour, utc.tm_min, utc.tm_sec);
+}
+
 /** A single-valued uvolt-bench-v1 row (one measured quantity). */
 bench::BenchResult
 valueRow(const std::string &name, double ns)
@@ -210,6 +238,14 @@ main(int argc, char **argv)
     cli.addBool("skip-identity", "load phase only (quick runs)");
     cli.addString("out", "results/ext_serve_bench.json",
                   "uvolt-bench-v1 output path");
+    cli.addString("trace-out", "results/ext_serve_trace.json",
+                  "Chrome trace output (\"\" disables)");
+    cli.addString("prom-out", "results/ext_serve_metrics.prom",
+                  "Prometheus text snapshot (\"\" disables)");
+    cli.addString("blackbox-dir", "results",
+                  "flight-recorder dump directory (\"\" disables)");
+    cli.addString("ledger-dir", "results/ledger",
+                  "run-manifest directory (\"\" disables)");
     const auto parsed = cli.tryParse(argc, argv);
     if (!parsed.ok()) {
         std::fprintf(stderr, "ext_serve: %s\n",
@@ -259,6 +295,7 @@ main(int argc, char **argv)
         config.noise = pmbus::NoiseConfig::harsh(seed + 1, noise_p);
     config.modelProvider = fixedProvider();
     config.seed = seed;
+    config.blackboxDir = cli.getString("blackbox-dir");
     serve::UvoltServer server(std::move(config));
 
     // One pre-verified request: the served classes must equal a direct
@@ -349,11 +386,23 @@ main(int argc, char **argv)
     }
     for (auto &thread : pool)
         thread.join();
+    // Scripted pressure storm: drive the degradation state machine
+    // through degraded and back so the health-transition flight-recorder
+    // dump is exercised deterministically — the load mix alone may or
+    // may not push the health score below the threshold.
+    if (noisy) {
+        for (int i = 0; i < 12; ++i)
+            server.observeFaultPressure(3.0);
+        for (int i = 0; i < 24; ++i)
+            server.observeFaultPressure(0.0);
+    }
     server.drain();
     const double load_ms = msSince(load_start);
     const auto stats = server.stats();
     const std::size_t depth_after_drain = server.queueDepth();
+    const serve::StatusReport status = server.statusReport();
     server.stop();
+    std::printf("\n# status at drain\n%s", status.render().c_str());
 
     // --- the exactly-once ledger -----------------------------------------
     ClientLedger total;
@@ -439,6 +488,60 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot write %s\n", out.c_str());
         return 2;
     }
+    // --- observability artifacts + run ledger ----------------------------
+    const std::string trace_out = cli.getString("trace-out");
+    const std::string prom_out = cli.getString("prom-out");
+    if (!trace_out.empty() && harness::writeChromeTrace(trace_out))
+        std::printf("trace -> %s\n", trace_out.c_str());
+    if (!prom_out.empty() &&
+        harness::writePrometheus(telemetry::Registry::global().metrics(),
+                                 prom_out))
+        std::printf("prometheus -> %s\n", prom_out.c_str());
+    const std::vector<std::string> blackboxes =
+        flightrec::FlightRecorder::global().dumps();
+    for (const auto &box : blackboxes)
+        std::printf("blackbox -> %s\n", box.c_str());
+
+    const std::string ledger_dir = cli.getString("ledger-dir");
+    if (!ledger_dir.empty()) {
+        harness::RunManifest manifest;
+        manifest.tool = "UvoltServer";
+        manifest.gitSha = bench::buildGitSha();
+        manifest.startedAtIso = nowIso8601();
+        manifest.configDigest = harness::configDigest(strFormat(
+            "serve;requests={};clients={};workers={};queue={};"
+            "noisy={};seed={}",
+            requests, clients, cli.getInt("workers"),
+            cli.getInt("queue-capacity"), noisy ? 1 : 0, seed));
+        manifest.runId = strFormat(
+            "{}-{}", manifest.configDigest.substr(0, 8),
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+        manifest.workers = static_cast<std::uint64_t>(
+            cli.getInt("workers"));
+        manifest.durationMs = load_ms;
+        manifest.artifacts.push_back("results/ext_serve.csv");
+        manifest.artifacts.push_back(out);
+        manifest.tracePath = trace_out;
+        manifest.prometheusPath = prom_out;
+        manifest.blackboxPaths = blackboxes;
+        for (const auto &[name, value] :
+             telemetry::Registry::global().metrics().counters) {
+            if (name.rfind("serve.", 0) == 0)
+                manifest.counters.emplace_back(name, value);
+        }
+        if (auto recorded =
+                harness::Ledger(ledger_dir).record(manifest);
+            !recorded.ok()) {
+            std::fprintf(stderr, "ledger: %s\n",
+                         recorded.error().message.c_str());
+        } else {
+            std::printf("manifest -> %s/run_manifest.json\n",
+                        ledger_dir.c_str());
+        }
+    }
+
     std::printf("\nlatency rows -> %s (gate: "
                 "scripts/check_regression.py)\n",
                 out.c_str());

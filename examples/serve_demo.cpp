@@ -16,16 +16,26 @@
  * Every step is deterministic: rerunning the demo (same flags) prints
  * the same sweeps, the same classes, and the same transition log.
  *
+ * With --watch the demo also runs as its own operator: a MetricsPulse
+ * thread rewrites a Prometheus text snapshot on a fixed period while
+ * the live statusReport() screen (health state, queue depth, latency
+ * quantiles, error-budget burn) prints between phases — the same view
+ * `curl`ing a real exporter would give, without a network stack.
+ *
  * Usage: serve_demo [--platform ZC702] [--workers 2] [--noise]
- *                   [--checkpoint-dir DIR]
+ *                   [--checkpoint-dir DIR] [--watch]
+ *                   [--prom-out results/serve_demo_metrics.prom]
  */
 
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "data/synthetic.hh"
+#include "harness/report.hh"
 #include "nn/network.hh"
 #include "pmbus/fault_injector.hh"
 #include "serve/server.hh"
@@ -43,6 +53,12 @@ main(int argc, char **argv)
     cli.addString("checkpoint-dir", "",
                   "characterize checkpoint directory (enables "
                   "resume-after-restart)");
+    cli.addBool("watch", "print the live status screen between phases "
+                         "and keep a Prometheus snapshot current");
+    cli.addString("prom-out", "results/serve_demo_metrics.prom",
+                  "--watch Prometheus snapshot path");
+    cli.addInt("watch-period-ms", 50,
+               "--watch snapshot rewrite period");
     // tryParse instead of parse: a daemon reports a typo'd flag
     // through its own channel instead of calling fatal().
     const auto parsed = cli.tryParse(argc, argv);
@@ -78,6 +94,22 @@ main(int argc, char **argv)
                 cli.getInt("workers"), capacity,
                 cli.getBool("noise") ? "on" : "off");
 
+    // --watch: a periodic Prometheus snapshot (what an exporter would
+    // serve over HTTP) plus the human status screen between phases.
+    const bool watch = cli.getBool("watch");
+    std::optional<harness::MetricsPulse> pulse;
+    if (watch) {
+        pulse.emplace(cli.getString("prom-out"),
+                      std::chrono::milliseconds(std::max<long>(
+                          1, cli.getInt("watch-period-ms"))));
+    }
+    const auto show_status = [&](const char *when) {
+        if (!watch)
+            return;
+        std::printf("-- status: %s --\n%s\n", when,
+                    server.statusReport().render().c_str());
+    };
+
     // --- 1. a characterize and a coalescible classify burst -------------
     serve::CharacterizeRequest characterize;
     characterize.platform = cli.getString("platform");
@@ -112,6 +144,7 @@ main(int argc, char **argv)
     std::printf("classify burst: 8 batches x 8 samples, %d rode a "
                 "coalesced block\n\n",
                 coalesced);
+    show_status("after the burst");
 
     // --- 2. a scripted fault-pressure storm ------------------------------
     std::printf("storm: pressure 3.0 x 12 observations, then calm\n");
@@ -131,6 +164,8 @@ main(int argc, char **argv)
                 refused.ok() ? "accepted (?)"
                              : refused.error().message.c_str());
 
+    show_status("mid-storm (degraded)");
+
     for (int i = 0; i < 24; ++i)
         server.observeFaultPressure(0.0);
     std::printf("  after calm: state %s, floor +%d mV\n\n",
@@ -139,6 +174,13 @@ main(int argc, char **argv)
 
     // --- 3. drain and audit ----------------------------------------------
     server.drain();
+    show_status("drained");
+    if (pulse) {
+        pulse->stop(); // final snapshot write, then the thread joins
+        std::printf("prometheus snapshot (%llu writes) -> %s\n",
+                    static_cast<unsigned long long>(pulse->writes()),
+                    cli.getString("prom-out").c_str());
+    }
     const auto stats = server.stats();
     std::printf("ledger: admitted %llu = completed %llu + failed %llu "
                 "(shed %llu, retried %llu)\n",

@@ -47,6 +47,26 @@ echo "== serve gate: closed-loop latency vs committed baseline =="
 python3 scripts/check_regression.py \
     bench/BENCH_baseline.json build/BENCH_serve.json
 
+echo "== observability gate: trace flows, prometheus, blackboxes =="
+# A harsh closed-loop run with telemetry ON must leave behind (a) a
+# Chrome trace where every request is one well-formed flow (exactly one
+# start and finish, no orphan steps, every parent span present), (b) a
+# Prometheus snapshot with cumulative histogram buckets, and (c) at
+# least one flight-recorder blackbox from the scripted degradation
+# storm. scripts/check_trace.py is the structural gate over all three.
+obs_dir="build/obs"
+rm -rf "$obs_dir" && mkdir -p "$obs_dir"
+UVOLT_TELEMETRY=ON ./build/bench/ext_serve --noise --skip-identity \
+    --requests 300 --clients 4 \
+    --out "$obs_dir/BENCH_obs.json" \
+    --trace-out "$obs_dir/trace.json" \
+    --prom-out "$obs_dir/metrics.prom" \
+    --blackbox-dir "$obs_dir" \
+    --ledger-dir "$obs_dir/ledger" > /dev/null
+python3 scripts/check_trace.py "$obs_dir/trace.json" --min-flows 100 \
+    --prometheus "$obs_dir/metrics.prom" \
+    --blackbox "$obs_dir/blackbox_degraded.json"
+
 echo "== golden figures drift check =="
 # Only when the figure CSVs have been regenerated (the figure benches
 # are not part of tier 1); run the fig*/tab* binaries to refresh them.
@@ -138,9 +158,14 @@ cmake --build build-tsan -j "$jobs" --target ext_serve serve_test
 echo "== telemetry compiled out (-DUVOLT_TELEMETRY=OFF) =="
 # The instrumented call sites must compile and pass with the layer
 # reduced to stubs — the zero-cost configuration ships this way.
+# serve_test rides along since PR 8: the serving tier now carries trace
+# contexts, flight-recorder notes, and status reporting, all of which
+# must still build and behave with the layer stubbed out.
 cmake -B build-notel -S . -DUVOLT_TELEMETRY=OFF
-cmake --build build-notel -j "$jobs" --target telemetry_test fleet_test
+cmake --build build-notel -j "$jobs" \
+    --target telemetry_test fleet_test serve_test
 ./build-notel/tests/telemetry_test
 ./build-notel/tests/fleet_test
+./build-notel/tests/serve_test
 
 echo "== all suites passed =="

@@ -13,6 +13,7 @@
 #include "harness/fvm_io.hh"
 #include "harness/ledger.hh"
 #include "util/bench.hh"
+#include "util/flight_recorder.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 #include "util/telemetry.hh"
@@ -230,7 +231,7 @@ FvmCache::obtain(const fpga::PlatformSpec &spec,
             if (auto saved =
                     trySaveFvm(produced.value(), floorplan, path);
                 !saved.ok())
-                warn("FvmCache: {}", saved.error().message);
+                warnc("fvmcache", "{}", saved.error().message);
         }
     }
 
@@ -382,7 +383,7 @@ FleetEngine::runJob(const FleetPlan &plan, const FleetJob &job) const
                 if (loaded.ok())
                     checkpoint = loaded.take();
                 else
-                    warn("fleet: ignoring unusable checkpoint '{}': {}",
+                    warnc("fleet", "ignoring unusable checkpoint '{}': {}",
                          ckpt_path, loaded.error().message);
             }
         }
@@ -473,6 +474,7 @@ recordManifest(const FleetOptions &options, const FleetPlan &plan,
         manifest.artifacts.push_back(options.checkpointDir);
     if (options.fvmCache)
         manifest.artifacts.push_back(options.fvmCache->directory());
+    manifest.blackboxPaths = flightrec::FlightRecorder::global().dumps();
     for (const auto &[name, value] :
          telemetry::Registry::global().metrics().counters) {
         if (value)
@@ -481,7 +483,7 @@ recordManifest(const FleetOptions &options, const FleetPlan &plan,
 
     const Ledger ledger(options.ledgerDir);
     if (auto recorded = ledger.record(manifest); !recorded.ok())
-        warn("ledger: {}", recorded.error().message);
+        warnc("ledger", "{}", recorded.error().message);
 }
 
 } // namespace
@@ -513,17 +515,36 @@ FleetEngine::run(const FleetPlan &plan, ThreadPool &pool)
     std::vector<std::optional<Expected<FleetJobOutcome>>> slots(
         plan.jobs.size());
     for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
-        // The queue-wait interval opens on the submitting thread and is
-        // recorded by the worker that eventually dequeues the job.
+        // Each job is one flow: a flow-start span here on the
+        // submitting thread, the queue-wait recorded by whichever
+        // worker dequeues it, the job body's spans as flow steps, and
+        // a zero-width finish — one connected track per job in
+        // Perfetto, whatever thread ran it.
+        telemetry::TraceContext ctx;
         const std::uint64_t submit_ns = telemetry::nowNs();
-        pool.submit([this, &plan, &slots, i, submit_ns] {
-            if (telemetry::Telemetry::enabled()) {
-                telemetry::recordSpan(
+        if (telemetry::Telemetry::enabled()) {
+            ctx.flowId = telemetry::mintFlowId();
+            ctx.spanId = telemetry::recordFlowSpan(
+                "fleet.submit", submit_ns, 0,
+                telemetry::TraceContext{ctx.flowId, 0},
+                telemetry::FlowPoint::start,
+                {{"job", plan.jobs[i].label()}});
+        }
+        pool.submit([this, &plan, &slots, i, submit_ns, ctx] {
+            if (ctx.active()) {
+                telemetry::recordFlowSpan(
                     "fleet.queue_wait", submit_ns,
-                    telemetry::nowNs() - submit_ns,
+                    telemetry::nowNs() - submit_ns, ctx,
+                    telemetry::FlowPoint::step,
                     {{"job", plan.jobs[i].label()}});
             }
+            telemetry::ContextScope scope(ctx);
             slots[i].emplace(runJob(plan, plan.jobs[i]));
+            if (ctx.active()) {
+                const std::uint64_t done_ns = telemetry::nowNs();
+                telemetry::recordFlowSpan("fleet.done", done_ns, 0, ctx,
+                                          telemetry::FlowPoint::finish);
+            }
         });
     }
     pool.wait();
@@ -605,7 +626,7 @@ FleetEngine::run(const FleetPlan &plan, ThreadPool &pool)
                     spec, result.jobs[rate_job].job.pattern,
                     plan.runsPerLevel, *report.mergedFvm);
                 !stored.ok())
-                warn("fleet: {}", stored.error().message);
+                warnc("fleet", "{}", stored.error().message);
         }
     }
 

@@ -28,7 +28,7 @@ saveFvm(const Fvm &fvm, const fpga::Floorplan &floorplan,
     if (auto written = writeFileAtomic(path, out.str(),
                                        Errc::corruptCache);
         !written.ok()) {
-        warn("saveFvm: {}", written.error().message);
+        warnc("fvmio", "saveFvm: {}", written.error().message);
         return false;
     }
     return true;
@@ -87,7 +87,7 @@ loadFvm(const fpga::Floorplan &floorplan, const std::string &path)
     }
     if (width != floorplan.width() || height != floorplan.height() ||
         count != floorplan.bramCount()) {
-        warn("loadFvm: '{}' is for a {}x{}/{} floorplan, expected "
+        warnc("fvmio", "loadFvm: '{}' is for a {}x{}/{} floorplan, expected "
              "{}x{}/{}",
              path, width, height, count, floorplan.width(),
              floorplan.height(), floorplan.bramCount());

@@ -76,6 +76,16 @@ RunManifest::toJson() const
             << json::escaped(artifacts[i]) << "\"";
     }
     out << "\n  ],\n";
+    out << "  \"observability\": {\n";
+    out << "    \"trace\": \"" << json::escaped(tracePath) << "\",\n";
+    out << "    \"prometheus\": \"" << json::escaped(prometheusPath)
+        << "\",\n";
+    out << "    \"blackboxes\": [";
+    for (std::size_t i = 0; i < blackboxPaths.size(); ++i) {
+        out << (i ? "," : "") << "\n      \""
+            << json::escaped(blackboxPaths[i]) << "\"";
+    }
+    out << (blackboxPaths.empty() ? "]" : "\n    ]") << "\n  },\n";
     out << "  \"telemetry\": {";
     bool first = true;
     for (const auto &[name, value] : counters) {
@@ -163,6 +173,19 @@ RunManifest::fromJson(std::string_view text)
         for (const json::Value &artifact : artifacts->items()) {
             if (artifact.isString())
                 manifest.artifacts.push_back(artifact.string());
+        }
+    }
+
+    if (const json::Value *obs = root.find("observability");
+        obs && obs->isObject()) {
+        manifest.tracePath = obs->stringOr("trace", "");
+        manifest.prometheusPath = obs->stringOr("prometheus", "");
+        if (const json::Value *boxes = obs->find("blackboxes");
+            boxes && boxes->isArray()) {
+            for (const json::Value &box : boxes->items()) {
+                if (box.isString())
+                    manifest.blackboxPaths.push_back(box.string());
+            }
         }
     }
 

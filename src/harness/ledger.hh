@@ -75,6 +75,12 @@ struct RunManifest
     /** Output/scratch locations tied to this run (may be empty). */
     std::vector<std::string> artifacts;
 
+    // Observability artifacts: where to look when this run needs to be
+    // inspected, not just reproduced. Empty when telemetry was off.
+    std::string tracePath;      ///< Chrome trace JSON of the run
+    std::string prometheusPath; ///< last metrics exposition snapshot
+    std::vector<std::string> blackboxPaths; ///< flight-recorder dumps
+
     /** Telemetry counters at completion (nonzero entries only). */
     std::vector<std::pair<std::string, std::uint64_t>> counters;
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/format.hh"
+#include "util/fsio.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -37,7 +38,7 @@ writeDocument(const std::string &document, const std::string &path)
         std::filesystem::create_directories(p.parent_path(), ec);
     std::ofstream out(path);
     if (!out) {
-        warn("could not open '{}' for writing", path);
+        warnc("report", "could not open '{}' for writing", path);
         return false;
     }
     out << document;
@@ -74,7 +75,9 @@ chromeTraceJson(const std::vector<telemetry::TraceEvent> &events,
             << "\",\"cat\":\"uvolt\",\"ph\":\"X\",\"pid\":1,\"tid\":"
             << event.tid << ",\"ts\":" << microseconds(event.startNs)
             << ",\"dur\":" << microseconds(event.durNs);
-        if (!event.args.empty()) {
+        // Span/flow linkage rides in args; ids are emitted only when
+        // set, so unlinked spans serialize exactly as before PR 8.
+        if (!event.args.empty() || event.spanId != 0) {
             out << ",\"args\":{";
             bool first_arg = true;
             for (const auto &[key, value] : event.args) {
@@ -84,9 +87,41 @@ chromeTraceJson(const std::vector<telemetry::TraceEvent> &events,
                 out << "\"" << jsonEscaped(key) << "\":\""
                     << jsonEscaped(value) << "\"";
             }
+            if (event.spanId != 0) {
+                out << (first_arg ? "" : ",") << "\"span\":\""
+                    << event.spanId << "\",\"parent\":\""
+                    << event.parentId << "\"";
+                if (event.flowId != 0)
+                    out << ",\"flow\":\"" << event.flowId << "\"";
+            }
             out << "}";
         }
         out << "}";
+        // Bind a flow point to the slice: an "s"/"t"/"f" record inside
+        // the X event above attaches to it, and Perfetto draws the
+        // arrows connecting every slice that shares the id. Start and
+        // step bind at the slice start; finish binds at the slice END
+        // (bp:"e" plus the end timestamp) — a request's terminal span
+        // opens back at admission time, and the arrow must point at
+        // when the request finished, not where it began.
+        if (event.flowPoint != telemetry::FlowPoint::none &&
+            event.flowId != 0) {
+            const bool finish =
+                event.flowPoint == telemetry::FlowPoint::finish;
+            const char *ph =
+                event.flowPoint == telemetry::FlowPoint::start ? "s"
+                : finish                                       ? "f"
+                                                               : "t";
+            out << ",\n{\"name\":\"request\",\"cat\":\"uvolt.flow\","
+                   "\"ph\":\""
+                << ph << "\",\"id\":" << event.flowId
+                << ",\"pid\":1,\"tid\":" << event.tid << ",\"ts\":"
+                << microseconds(finish ? event.startNs + event.durNs
+                                       : event.startNs);
+            if (finish)
+                out << ",\"bp\":\"e\"";
+            out << "}";
+        }
     }
     out << "\n]}\n";
     return out.str();
@@ -190,6 +225,130 @@ writeMetricsCsv(const telemetry::MetricsSnapshot &snapshot,
                 const std::string &path)
 {
     return writeCsv(metricsTable(snapshot), path);
+}
+
+namespace
+{
+
+/** "serve.e2e_ms" -> "uvolt_serve_e2e_ms" (Prometheus name charset). */
+std::string
+prometheusName(std::string_view name)
+{
+    std::string out = "uvolt_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+/** Shortest default stream rendering ("0.05", "1", "2000"). */
+std::string
+prometheusNumber(double value)
+{
+    std::ostringstream out;
+    out << value;
+    return out.str();
+}
+
+} // namespace
+
+std::string
+prometheusText(const telemetry::MetricsSnapshot &snapshot)
+{
+    std::ostringstream out;
+    for (const auto &[name, value] : snapshot.counters) {
+        const std::string prom = prometheusName(name);
+        out << "# TYPE " << prom << " counter\n"
+            << prom << " " << value << "\n";
+    }
+    for (const auto &[name, value] : snapshot.gauges) {
+        const std::string prom = prometheusName(name);
+        out << "# TYPE " << prom << " gauge\n"
+            << prom << " " << prometheusNumber(value) << "\n";
+    }
+    for (const auto &histogram : snapshot.histograms) {
+        const std::string prom = prometheusName(histogram.name);
+        out << "# TYPE " << prom << " histogram\n";
+        // Prometheus buckets are cumulative; the registry's are
+        // per-bucket counts, so running-sum them on the way out.
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < histogram.bounds.size(); ++b) {
+            cumulative += histogram.buckets[b];
+            out << prom << "_bucket{le=\""
+                << prometheusNumber(histogram.bounds[b]) << "\"} "
+                << cumulative << "\n";
+        }
+        out << prom << "_bucket{le=\"+Inf\"} " << histogram.count
+            << "\n";
+        out << prom << "_sum " << prometheusNumber(histogram.sum)
+            << "\n";
+        out << prom << "_count " << histogram.count << "\n";
+    }
+    return out.str();
+}
+
+bool
+writePrometheus(const telemetry::MetricsSnapshot &snapshot,
+                const std::string &path)
+{
+    const auto written = writeFileAtomic(path, prometheusText(snapshot));
+    if (!written) {
+        warnc("report", "could not write prometheus snapshot '{}'", path);
+        return false;
+    }
+    return true;
+}
+
+MetricsPulse::MetricsPulse(std::string path,
+                           std::chrono::milliseconds period)
+    : path_(std::move(path)), period_(period)
+{
+    thread_ = std::thread([this] {
+        std::unique_lock lock(mutex_);
+        while (!stopping_) {
+            lock.unlock();
+            const bool ok = writePrometheus(
+                telemetry::Registry::global().metrics(), path_);
+            lock.lock();
+            if (ok)
+                ++writes_;
+            cv_.wait_for(lock, period_, [this] { return stopping_; });
+        }
+    });
+}
+
+MetricsPulse::~MetricsPulse()
+{
+    stop();
+}
+
+void
+MetricsPulse::stop()
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (stopping_) // already stopped; keep stop() idempotent
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    // One final write so the file reflects the end state of the run.
+    if (writePrometheus(telemetry::Registry::global().metrics(), path_)) {
+        std::lock_guard lock(mutex_);
+        ++writes_;
+    }
+}
+
+std::uint64_t
+MetricsPulse::writes() const
+{
+    std::lock_guard lock(mutex_);
+    return writes_;
 }
 
 } // namespace uvolt::harness

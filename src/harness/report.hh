@@ -17,7 +17,11 @@
 #ifndef UVOLT_HARNESS_REPORT_HH
 #define UVOLT_HARNESS_REPORT_HH
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/table.hh"
@@ -67,6 +71,51 @@ TextTable metricsTable(const telemetry::MetricsSnapshot &snapshot);
 /** Write metricsTable() to @a path as CSV. */
 bool writeMetricsCsv(const telemetry::MetricsSnapshot &snapshot,
                      const std::string &path);
+
+/**
+ * Render a snapshot in the Prometheus text exposition format: every
+ * metric prefixed "uvolt_" (dots become underscores), counters and
+ * gauges as single samples, histograms as cumulative "_bucket" series
+ * with exact `le` bounds plus "+Inf", "_sum", and "_count" — the layout
+ * promtool and any Prometheus scraper accept verbatim.
+ */
+std::string prometheusText(const telemetry::MetricsSnapshot &snapshot);
+
+/** Write prometheusText() to @a path crash-atomically (tmp + rename),
+ *  so a concurrent scrape never reads a torn file. */
+bool writePrometheus(const telemetry::MetricsSnapshot &snapshot,
+                     const std::string &path);
+
+/**
+ * Periodic live exposition: a background thread that rewrites @a path
+ * with the global registry's current snapshot every @a period. stop()
+ * (or destruction) writes one final snapshot so even a short-lived
+ * process leaves a complete file behind.
+ */
+class MetricsPulse
+{
+  public:
+    MetricsPulse(std::string path, std::chrono::milliseconds period);
+    ~MetricsPulse();
+
+    MetricsPulse(const MetricsPulse &) = delete;
+    MetricsPulse &operator=(const MetricsPulse &) = delete;
+
+    /** Final write + join; idempotent. */
+    void stop();
+
+    /** Snapshots written so far (including the final one). */
+    std::uint64_t writes() const;
+
+  private:
+    std::string path_;
+    std::chrono::milliseconds period_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::uint64_t writes_ = 0;
+    std::thread thread_;
+};
 
 } // namespace uvolt::harness
 

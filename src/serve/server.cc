@@ -9,7 +9,9 @@
 #include "harness/checkpoint.hh"
 #include "harness/fvm.hh"
 #include "harness/ledger.hh"
+#include "util/flight_recorder.hh"
 #include "util/format.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/telemetry.hh"
 
@@ -51,6 +53,16 @@ struct ServeMetrics
     telemetry::Histogram &e2eMs =
         telemetry::Registry::global().histogram(
             "serve.e2e_ms",
+            {0.05, 0.1, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
+             2000, 5000});
+    telemetry::Histogram &characterizeMs =
+        telemetry::Registry::global().histogram(
+            "serve.characterize_ms",
+            {0.05, 0.1, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
+             2000, 5000});
+    telemetry::Histogram &classifyMs =
+        telemetry::Registry::global().histogram(
+            "serve.classify_ms",
             {0.05, 0.1, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
              2000, 5000});
 };
@@ -96,9 +108,26 @@ canonicalCharacterize(const CharacterizeRequest &request)
                      request.ambientC, request.runsPerLevel);
 }
 
-/** One per-request trace span covering queue wait + execution. */
+/** End-to-end latency into both the shared and the per-class series. */
 void
-recordRequestSpan(const char *kind, std::uint64_t id, double e2e_ms,
+observeE2e(const char *kind, double e2e_ms)
+{
+    serveMetrics().e2eMs.observe(e2e_ms);
+    if (std::string_view(kind) == "characterize")
+        serveMetrics().characterizeMs.observe(e2e_ms);
+    else
+        serveMetrics().classifyMs.observe(e2e_ms);
+}
+
+/**
+ * One per-request trace span covering queue wait + execution. With an
+ * active context this is the request flow's terminal point — in
+ * Perfetto the arrow chain admission -> queue wait -> execution ends
+ * here, whatever thread each hop ran on.
+ */
+void
+recordRequestSpan(const char *kind, std::uint64_t id,
+                  const telemetry::TraceContext &ctx, double e2e_ms,
                   bool ok)
 {
     if (!telemetry::Telemetry::enabled())
@@ -107,11 +136,18 @@ recordRequestSpan(const char *kind, std::uint64_t id, double e2e_ms,
     const auto duration =
         static_cast<std::uint64_t>(std::max(0.0, e2e_ms) * 1e6);
     const std::uint64_t end = registry.nowNs();
-    registry.recordSpan("serve.request",
-                        end > duration ? end - duration : 0, duration,
-                        {{"kind", kind},
-                         {"id", std::to_string(id)},
-                         {"ok", ok ? "1" : "0"}});
+    const std::uint64_t start = end > duration ? end - duration : 0;
+    telemetry::TraceArgs args{{"kind", kind},
+                              {"id", std::to_string(id)},
+                              {"ok", ok ? "1" : "0"}};
+    if (ctx.active()) {
+        registry.recordFlowSpan("serve.request", start, duration, ctx,
+                                telemetry::FlowPoint::finish,
+                                std::move(args));
+    } else {
+        registry.recordSpan("serve.request", start, duration,
+                            std::move(args));
+    }
 }
 
 } // namespace
@@ -182,6 +218,24 @@ UvoltServer::admit(Request request)
     auto future = work.promise.get_future();
     pending.work = std::move(work);
 
+    // Mint the request's trace flow before the push: the admission span
+    // must exist before any worker can pop the item and parent spans
+    // under it. The span id travels in the queue item; every later hop
+    // (queue wait, execution, terminal response) joins this flow.
+    if (telemetry::Telemetry::enabled()) {
+        pending.submitNs = telemetry::nowNs();
+        pending.trace.flowId = telemetry::mintFlowId();
+        pending.trace.spanId = telemetry::recordFlowSpan(
+            "serve.admit", pending.submitNs, 0,
+            telemetry::TraceContext{pending.trace.flowId, 0},
+            telemetry::FlowPoint::start,
+            {{"kind", std::is_same_v<Response, CharacterizeResponse>
+                          ? "characterize"
+                          : "classify"},
+             {"id", std::to_string(pending.id)}});
+    }
+    const telemetry::TraceContext trace = pending.trace;
+
     // Counted before the push: a worker may pop and respond before this
     // thread runs another instruction, and the drain predicate must
     // never observe a response without its admission.
@@ -195,6 +249,16 @@ UvoltServer::admit(Request request)
                 ++stats_.rejected;
             }
             serveMetrics().rejected.increment();
+        }
+        // Close the flow so every minted flow stays well-formed (one
+        // start, one finish) even for refused work.
+        if (trace.active()) {
+            telemetry::recordFlowSpan(
+                "serve.reject", telemetry::nowNs(), 0, trace,
+                telemetry::FlowPoint::finish,
+                {{"why", pushed.error().code == Errc::queueFull
+                             ? "queue_full"
+                             : "stopped"}});
         }
         return pushed.error();
     }
@@ -280,8 +344,38 @@ UvoltServer::stats() const
 void
 UvoltServer::observeFaultPressure(double pressure)
 {
-    std::unique_lock lock(healthMutex_);
-    health_.observe(pressure);
+    ServeState before;
+    ServeState after;
+    int raise = 0;
+    {
+        std::unique_lock lock(healthMutex_);
+        before = health_.state();
+        health_.observe(pressure);
+        after = health_.state();
+        raise = health_.floorRaiseMv();
+    }
+    if (after == before)
+        return;
+    // Record and dump outside healthMutex_: the recorder takes its own
+    // locks and a dump writes a file — no reader of healthState() /
+    // statusReport() should ever wait behind that.
+    flightrec::note(after == ServeState::degraded
+                        ? flightrec::Level::error
+                        : flightrec::Level::info,
+                    "serve",
+                    strFormat("health {} -> {} (floor raise {} mV)",
+                              serveStateName(before),
+                              serveStateName(after), raise));
+    if (after == ServeState::degraded && !config_.blackboxDir.empty()) {
+        const std::string path =
+            flightrec::FlightRecorder::global().dump(
+                "degraded", config_.blackboxDir);
+        if (!path.empty()) {
+            warnc("serve",
+                  "entered degraded state: flight recorder dumped to {}",
+                  path);
+        }
+    }
 }
 
 ServeState
@@ -303,6 +397,81 @@ UvoltServer::healthTransitions() const
 {
     std::unique_lock lock(healthMutex_);
     return health_.transitions();
+}
+
+StatusReport
+UvoltServer::statusReport() const
+{
+    StatusReport report;
+    {
+        std::unique_lock lock(healthMutex_);
+        report.state = health_.state();
+        report.floorRaiseMv = health_.floorRaiseMv();
+    }
+    report.queueDepth = queue_.size();
+    report.queueCapacity = config_.queueCapacity;
+    {
+        std::unique_lock lock(statsMutex_);
+        report.stats = stats_;
+    }
+    if (telemetry::Telemetry::enabled()) {
+        const telemetry::MetricsSnapshot snapshot =
+            telemetry::Registry::global().metrics();
+        for (const auto &histogram : snapshot.histograms) {
+            if (histogram.name == "serve.queue_wait_ms") {
+                report.queueWaitP50Ms = histogram.p50();
+                report.queueWaitP99Ms = histogram.p99();
+            } else if (histogram.name == "serve.e2e_ms") {
+                report.e2eP50Ms = histogram.p50();
+                report.e2eP99Ms = histogram.p99();
+            } else if (histogram.name == "serve.characterize_ms") {
+                report.characterizeP50Ms = histogram.p50();
+                report.characterizeP99Ms = histogram.p99();
+            } else if (histogram.name == "serve.classify_ms") {
+                report.classifyP50Ms = histogram.p50();
+                report.classifyP99Ms = histogram.p99();
+            }
+        }
+    }
+    const std::uint64_t responded =
+        report.stats.completed + report.stats.failed;
+    if (responded > 0 && config_.errorBudget > 0.0) {
+        report.errorBudgetBurn =
+            (static_cast<double>(report.stats.failed) /
+             static_cast<double>(responded)) /
+            config_.errorBudget;
+    }
+    return report;
+}
+
+std::string
+StatusReport::render() const
+{
+    std::string out;
+    out += strFormat("state           {} (floor raise {} mV)\n",
+                     serveStateName(state), floorRaiseMv);
+    out += strFormat("queue           {}/{}\n", queueDepth,
+                     queueCapacity);
+    out += strFormat("admitted        {}  completed {}  failed {}\n",
+                     stats.admitted, stats.completed, stats.failed);
+    out += strFormat("refused         rejected {}  shed {}  "
+                     "cancelled {}\n",
+                     stats.rejected, stats.shed, stats.cancelled);
+    out += strFormat("pressure        deadline misses {}  retries {}  "
+                     "coalesced blocks {}\n",
+                     stats.deadlineExceeded, stats.retried,
+                     stats.coalescedBlocks);
+    out += strFormat("queue wait      p50 {:.3f} ms  p99 {:.3f} ms\n",
+                     queueWaitP50Ms, queueWaitP99Ms);
+    out += strFormat("end-to-end      p50 {:.3f} ms  p99 {:.3f} ms\n",
+                     e2eP50Ms, e2eP99Ms);
+    out += strFormat("  characterize  p50 {:.3f} ms  p99 {:.3f} ms\n",
+                     characterizeP50Ms, characterizeP99Ms);
+    out += strFormat("  classify      p50 {:.3f} ms  p99 {:.3f} ms\n",
+                     classifyP50Ms, classifyP99Ms);
+    out += strFormat("error budget    {:.1f}% burned\n",
+                     errorBudgetBurn * 100.0);
+    return out;
 }
 
 void
@@ -327,18 +496,9 @@ UvoltServer::respondExpired(Pending &item)
     }
     serveMetrics().failed.increment();
     serveMetrics().deadlineExceeded.increment();
-    const double e2e = elapsedMs(item.submitted);
-    serveMetrics().e2eMs.observe(e2e);
+    noteCompleted(item, false, Errc::deadlineExceeded);
     std::visit(
-        [&](auto &work) {
-            recordRequestSpan(
-                std::is_same_v<std::decay_t<decltype(work)>,
-                               CharacterizeWork>
-                    ? "characterize"
-                    : "classify",
-                item.id, e2e, false);
-            work.promise.set_value(std::move(error));
-        },
+        [&](auto &work) { work.promise.set_value(std::move(error)); },
         item.work);
     settled();
 }
@@ -356,26 +516,80 @@ UvoltServer::respondStopped(Pending &item)
     }
     serveMetrics().failed.increment();
     serveMetrics().cancelled.increment();
-    const double e2e = elapsedMs(item.submitted);
-    serveMetrics().e2eMs.observe(e2e);
+    noteCompleted(item, false, Errc::serverStopped);
     std::visit(
-        [&](auto &work) {
-            recordRequestSpan(
-                std::is_same_v<std::decay_t<decltype(work)>,
-                               CharacterizeWork>
-                    ? "characterize"
-                    : "classify",
-                item.id, e2e, false);
-            work.promise.set_value(std::move(error));
-        },
+        [&](auto &work) { work.promise.set_value(std::move(error)); },
         item.work);
     settled();
+}
+
+void
+UvoltServer::noteCompleted(const Pending &item, bool ok, Errc code)
+{
+    const char *kind =
+        std::holds_alternative<CharacterizeWork>(item.work)
+            ? "characterize"
+            : "classify";
+    const double e2e = elapsedMs(item.submitted);
+    observeE2e(kind, e2e);
+    recordRequestSpan(kind, item.id, item.trace, e2e, ok);
+    if (ok) {
+        // Any completion ends a deadline storm: expiries only count
+        // toward the dump threshold while nothing gets through.
+        deadlineStreak_.store(0, std::memory_order_relaxed);
+        return;
+    }
+    flightrec::note(flightrec::Level::warn, "serve",
+                    strFormat("{} request {} failed: {}", kind, item.id,
+                              errcName(code)),
+                    item.trace.flowId);
+    if (code == Errc::deadlineExceeded)
+        noteDeadlineExpiry();
+}
+
+void
+UvoltServer::noteDeadlineExpiry()
+{
+    const int threshold = config_.deadlineStormThreshold;
+    if (threshold <= 0)
+        return;
+    const int streak =
+        deadlineStreak_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (streak < threshold)
+        return;
+    deadlineStreak_.store(0, std::memory_order_relaxed);
+    if (config_.blackboxDir.empty())
+        return;
+    flightrec::note(
+        flightrec::Level::error, "serve",
+        strFormat("{} consecutive deadline expiries", streak));
+    const std::string path = flightrec::FlightRecorder::global().dump(
+        "deadline_storm", config_.blackboxDir);
+    if (!path.empty()) {
+        warnc("serve", "deadline storm ({} expiries): flight recorder "
+              "dumped to {}",
+              streak, path);
+    }
 }
 
 void
 UvoltServer::process(Pending item)
 {
     serveMetrics().queueWaitMs.observe(elapsedMs(item.submitted));
+    // The queue-wait hop of the request flow: starts at admission time
+    // on the submitter's thread, ends now on this worker — in Perfetto
+    // the flow arrow crosses threads through this slice.
+    if (item.trace.active()) {
+        const std::uint64_t now = telemetry::nowNs();
+        telemetry::recordFlowSpan(
+            "serve.queue_wait", item.submitNs,
+            now > item.submitNs ? now - item.submitNs : 0, item.trace,
+            telemetry::FlowPoint::step,
+            {{"id", std::to_string(item.id)}});
+    }
+    // Everything this worker does for the request — sweep slices,
+    // retries, checkpoint writes — parents under the request context.
+    telemetry::ContextScope trace_scope(item.trace);
     if (stopRequested()) {
         respondStopped(item);
         return;
@@ -409,6 +623,15 @@ UvoltServer::process(Pending item)
             break;
         samples += std::get<ClassifyWork>(more->work).request.sampleCount;
         serveMetrics().queueWaitMs.observe(elapsedMs(more->submitted));
+        if (more->trace.active()) {
+            const std::uint64_t now = telemetry::nowNs();
+            telemetry::recordFlowSpan(
+                "serve.queue_wait", more->submitNs,
+                now > more->submitNs ? now - more->submitNs : 0,
+                more->trace, telemetry::FlowPoint::step,
+                {{"id", std::to_string(more->id)},
+                 {"coalesced", "1"}});
+        }
         group.push_back(std::move(*more));
     }
     serveMetrics().queueDepth.set(static_cast<double>(queue_.size()));
@@ -458,7 +681,7 @@ UvoltServer::characterizeOnce(const CharacterizeRequest &request,
             if (loaded.ok())
                 checkpoint = loaded.take();
             else
-                warn("serve: ignoring unusable checkpoint '{}': {}",
+                warnc("serve", "ignoring unusable checkpoint '{}': {}",
                      ckpt_path, loaded.error().message);
         }
     }
@@ -531,6 +754,11 @@ UvoltServer::finishCharacterize(Pending &item)
             respondStopped(item);
             return;
         }
+        UVOLT_TRACE_SCOPE("serve.attempt", [&] {
+            return telemetry::TraceArgs{
+                {"id", std::to_string(item.id)},
+                {"attempt", std::to_string(attempt)}};
+        });
         auto result = characterizeOnce(request, request_seed, attempt,
                                        item.deadline, resumed);
         if (result.ok()) {
@@ -549,7 +777,7 @@ UvoltServer::finishCharacterize(Pending &item)
                         harness::fvmFromSweep(response.sweep,
                                               floorplan));
                     !stored.ok()) {
-                    warn("serve: FVM publication failed: {}",
+                    warnc("serve", "FVM publication failed: {}",
                          stored.error().message);
                 }
             }
@@ -566,9 +794,7 @@ UvoltServer::finishCharacterize(Pending &item)
                 ++stats_.completed;
             }
             serveMetrics().completed.increment();
-            const double e2e = elapsedMs(item.submitted);
-            serveMetrics().e2eMs.observe(e2e);
-            recordRequestSpan("characterize", item.id, e2e, true);
+            noteCompleted(item, true, Errc::ok);
             work.promise.set_value(std::move(response));
             settled();
             return;
@@ -592,6 +818,11 @@ UvoltServer::finishCharacterize(Pending &item)
             ++stats_.retried;
         }
         serveMetrics().retried.increment();
+        flightrec::note(flightrec::Level::info, "serve",
+                        strFormat("characterize {} attempt {} hit {}; "
+                                  "backing off",
+                                  item.id, attempt, errcName(last.code)),
+                        item.trace.flowId);
         if (!backoff(attempt, request_seed)) {
             respondStopped(item);
             return;
@@ -605,9 +836,7 @@ UvoltServer::finishCharacterize(Pending &item)
         ++stats_.failed;
     }
     serveMetrics().failed.increment();
-    const double e2e = elapsedMs(item.submitted);
-    serveMetrics().e2eMs.observe(e2e);
-    recordRequestSpan("characterize", item.id, e2e, false);
+    noteCompleted(item, false, last.code);
     work.promise.set_value(std::move(last));
     settled();
 }
@@ -689,10 +918,7 @@ UvoltServer::finishClassifyGroup(std::vector<Pending> items)
                     ++stats_.failed;
                 }
                 serveMetrics().failed.increment();
-                const double e2e = elapsedMs(member.item.submitted);
-                serveMetrics().e2eMs.observe(e2e);
-                recordRequestSpan("classify", member.item.id, e2e,
-                                  false);
+                noteCompleted(member.item, false, error.code);
                 std::get<ClassifyWork>(member.item.work)
                     .promise.set_value(std::move(error));
                 settled();
@@ -783,9 +1009,7 @@ UvoltServer::finishClassifyGroup(std::vector<Pending> items)
             ++stats_.completed;
         }
         serveMetrics().completed.increment();
-        const double e2e = elapsedMs(member.item.submitted);
-        serveMetrics().e2eMs.observe(e2e);
-        recordRequestSpan("classify", member.item.id, e2e, true);
+        noteCompleted(member.item, true, Errc::ok);
         observeFaultPressure(
             static_cast<double>(model_attempts - 1));
         std::get<ClassifyWork>(member.item.work)

@@ -66,6 +66,7 @@
 #include "serve/health.hh"
 #include "serve/request_queue.hh"
 #include "util/error.hh"
+#include "util/telemetry.hh"
 
 namespace uvolt::serve
 {
@@ -157,6 +158,17 @@ struct ServerConfig
     ModelProvider modelProvider;
 
     std::uint64_t seed = 1; ///< base of per-request seed derivation
+
+    /** Flight-recorder dump directory ("" disables server dumps). */
+    std::string blackboxDir = "results";
+
+    /** Consecutive deadline expiries that trigger a flight-recorder
+     *  dump (blackbox_deadline_storm.json); 0 disables. */
+    int deadlineStormThreshold = 8;
+
+    /** Tolerated failed/responded fraction; statusReport() reports the
+     *  actual fraction divided by this budget (1.0 = budget spent). */
+    double errorBudget = 0.05;
 };
 
 /** Exactly-once accounting, mirrored in serve.* telemetry counters. */
@@ -171,6 +183,33 @@ struct ServerStats
     std::uint64_t cancelled = 0; ///< subset of failed: server stopped
     std::uint64_t retried = 0;   ///< transient-fault retry attempts
     std::uint64_t coalescedBlocks = 0; ///< blocks mixing >= 2 requests
+};
+
+/**
+ * Point-in-time operator view of the server, rendered by
+ * `serve_demo --watch` and exported next to the Prometheus snapshot.
+ * Latency quantiles come from the telemetry histograms and are zero
+ * when telemetry is off; everything else is live server state.
+ */
+struct StatusReport
+{
+    ServeState state = ServeState::normal;
+    int floorRaiseMv = 0;
+    std::size_t queueDepth = 0;
+    std::size_t queueCapacity = 0;
+    ServerStats stats;
+
+    double queueWaitP50Ms = 0.0, queueWaitP99Ms = 0.0;
+    double e2eP50Ms = 0.0, e2eP99Ms = 0.0;
+    double characterizeP50Ms = 0.0, characterizeP99Ms = 0.0;
+    double classifyP50Ms = 0.0, classifyP99Ms = 0.0;
+
+    /** failed/responded over the configured budget; >= 1 = budget
+     *  exhausted. 0 while nothing has been responded to. */
+    double errorBudgetBurn = 0.0;
+
+    /** Multi-line human rendering (the --watch screen). */
+    std::string render() const;
 };
 
 /** How stop() treats in-flight and queued work. */
@@ -222,6 +261,13 @@ class UvoltServer
 
     ServerStats stats() const;
 
+    /**
+     * Live operator view: health state, queue depth, per-class latency
+     * quantiles (from telemetry; zeros when off), error-budget burn.
+     * Safe to call from any thread at any time.
+     */
+    StatusReport statusReport() const;
+
     /** In-queue depth right now (also exported as serve.queue_depth). */
     std::size_t queueDepth() const { return queue_.size(); }
 
@@ -264,6 +310,9 @@ class UvoltServer
         Priority priority = Priority::normal;
         Clock::time_point submitted;
         Clock::time_point deadline; ///< time_point::max() = none
+        /** Flow linkage minted at admission; inactive = telemetry off. */
+        telemetry::TraceContext trace;
+        std::uint64_t submitNs = 0; ///< admission time, trace timebase
         std::variant<CharacterizeWork, ClassifyWork> work;
     };
 
@@ -299,6 +348,10 @@ class UvoltServer
     void respondStopped(Pending &item);
     void noteCompleted(const Pending &item, bool ok, Errc code);
 
+    /** Deadline-storm detection: count consecutive expiries and dump
+     *  the flight recorder when the configured threshold is crossed. */
+    void noteDeadlineExpiry();
+
     ServerConfig config_;
     BoundedQueue<Pending> queue_;
     std::vector<std::thread> workers_;
@@ -316,6 +369,9 @@ class UvoltServer
 
     mutable std::mutex healthMutex_;
     HealthTracker health_;
+
+    /** Consecutive deadline expiries since the last completion. */
+    std::atomic<int> deadlineStreak_{0};
 
     /** Serializes identical characterize shapes (checkpoint owners). */
     std::mutex labelsMutex_;

@@ -2,10 +2,21 @@
  * @file
  * Status and error reporting, following the gem5 fatal/panic convention:
  *
- *  - panic(): an internal invariant was violated (a library bug); aborts.
+ *  - panic(): an internal invariant was violated (a library bug); dumps
+ *    the flight recorder, then aborts.
  *  - fatal(): the caller asked for something impossible (user error);
  *    exits with status 1.
- *  - warn()/inform(): non-fatal status messages on stderr.
+ *  - warn()/inform(): non-fatal status messages on stderr. The tagged
+ *    variants warnc()/informc() name the emitting subsystem; every
+ *    message (tagged or not) is also appended to the flight recorder
+ *    (util/flight_recorder.hh), so a later black-box dump carries the
+ *    full recent history even when stderr was rate-limited.
+ *
+ * Rate limiting: stderr warnings are throttled per component by a token
+ * bucket (a sustained PMBus NACK storm prints a handful of lines plus a
+ * "(+N similar suppressed)" summary instead of one line per retry).
+ * fatal()/panic() are never throttled. The flight recorder sees every
+ * message regardless — suppression is a stderr policy, not data loss.
  *
  * Messages use std::format-style formatting.
  */
@@ -13,6 +24,7 @@
 #ifndef UVOLT_UTIL_LOGGING_HH
 #define UVOLT_UTIL_LOGGING_HH
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -26,8 +38,8 @@ namespace detail
 
 [[noreturn]] void panicImpl(std::string_view message);
 [[noreturn]] void fatalImpl(std::string_view message);
-void warnImpl(std::string_view message);
-void informImpl(std::string_view message);
+void warnImpl(std::string_view component, std::string_view message);
+void informImpl(std::string_view component, std::string_view message);
 
 } // namespace detail
 
@@ -47,12 +59,30 @@ fatal(std::string_view fmt, Args &&...args)
     detail::fatalImpl(strFormat(fmt, std::forward<Args>(args)...));
 }
 
-/** Non-fatal warning on stderr. */
+/** Component-tagged warning: "warn: [pmbus] ..." on stderr. */
+template <typename... Args>
+void
+warnc(std::string_view component, std::string_view fmt, Args &&...args)
+{
+    detail::warnImpl(component,
+                     strFormat(fmt, std::forward<Args>(args)...));
+}
+
+/** Non-fatal warning on stderr (untagged; uses the "app" component). */
 template <typename... Args>
 void
 warn(std::string_view fmt, Args &&...args)
 {
-    detail::warnImpl(strFormat(fmt, std::forward<Args>(args)...));
+    detail::warnImpl("app", strFormat(fmt, std::forward<Args>(args)...));
+}
+
+/** Component-tagged informational message. */
+template <typename... Args>
+void
+informc(std::string_view component, std::string_view fmt, Args &&...args)
+{
+    detail::informImpl(component,
+                       strFormat(fmt, std::forward<Args>(args)...));
 }
 
 /** Informational status message on stderr. */
@@ -60,11 +90,25 @@ template <typename... Args>
 void
 inform(std::string_view fmt, Args &&...args)
 {
-    detail::informImpl(strFormat(fmt, std::forward<Args>(args)...));
+    detail::informImpl("app",
+                       strFormat(fmt, std::forward<Args>(args)...));
 }
 
 /** Suppress / restore inform() output (tests keep their logs quiet). */
 void setQuiet(bool quiet);
+
+/** Lines printed vs. swallowed by the per-component token bucket. */
+struct LogStats
+{
+    std::uint64_t emitted = 0;
+    std::uint64_t suppressed = 0;
+};
+
+/** Process-wide stderr throttling stats (monotonic). */
+LogStats logStats();
+
+/** Turn the stderr token bucket off/on (tests; default on). */
+void setLogRateLimit(bool on);
 
 } // namespace uvolt
 

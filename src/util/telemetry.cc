@@ -144,10 +144,60 @@ struct ThreadState
 
 } // namespace
 
+namespace
+{
+
+/**
+ * Shared pool for span and flow ids, never 0. One atomic for the whole
+ * process keeps ids unique across every minting site (serve admission,
+ * fleet submit, scoped spans) so no two flows can alias in a trace.
+ */
+std::atomic<std::uint64_t> nextLinkId{1};
+
+std::uint64_t
+mintLinkId()
+{
+    return nextLinkId.fetch_add(1, std::memory_order_relaxed);
+}
+
+/** The calling thread's installed request context. */
+thread_local TraceContext tlsContext;
+
+/** Ids of the calling thread's open TraceScopes, innermost last. */
+thread_local std::vector<std::uint64_t> tlsSpanStack;
+
+} // namespace
+
 namespace detail
 {
 
 std::atomic<bool> enabledFlag{envEnabled()};
+
+SpanLink
+openSpanLink()
+{
+    SpanLink link;
+    link.spanId = mintLinkId();
+    link.flowId = tlsContext.flowId;
+    if (tlsSpanStack.empty()) {
+        // Outermost span of this thread segment: parent under the
+        // installed cross-thread context and mark the flow hop.
+        link.parentId = tlsContext.spanId;
+        link.flowPoint = link.flowId ? FlowPoint::step : FlowPoint::none;
+    } else {
+        link.parentId = tlsSpanStack.back();
+        link.flowPoint = FlowPoint::none;
+    }
+    tlsSpanStack.push_back(link.spanId);
+    return link;
+}
+
+void
+closeSpanLink()
+{
+    if (!tlsSpanStack.empty())
+        tlsSpanStack.pop_back();
+}
 
 } // namespace detail
 
@@ -357,6 +407,14 @@ void
 Registry::recordSpan(const char *name, std::uint64_t start_ns,
                      std::uint64_t dur_ns, TraceArgs args)
 {
+    recordLinkedSpan(name, start_ns, dur_ns, {}, std::move(args));
+}
+
+void
+Registry::recordLinkedSpan(const char *name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns,
+                           const detail::SpanLink &link, TraceArgs args)
+{
     if (!Telemetry::enabled())
         return;
     ThreadState &state = impl_->threadState();
@@ -370,8 +428,48 @@ Registry::recordSpan(const char *name, std::uint64_t start_ns,
     event.startNs = start_ns;
     event.durNs = dur_ns;
     event.tid = state.tid;
+    event.spanId = link.spanId;
+    event.parentId = link.parentId;
+    event.flowId = link.flowId;
+    event.flowPoint = link.flowPoint;
     event.args = std::move(args);
     state.trace.push_back(std::move(event));
+}
+
+std::uint64_t
+Registry::mintFlowId()
+{
+    return mintLinkId();
+}
+
+std::uint64_t
+Registry::recordFlowSpan(const char *name, std::uint64_t start_ns,
+                         std::uint64_t dur_ns, const TraceContext &ctx,
+                         FlowPoint point, TraceArgs args)
+{
+    if (!Telemetry::enabled())
+        return 0;
+    detail::SpanLink link;
+    link.spanId = mintLinkId();
+    link.parentId = ctx.spanId;
+    link.flowId = ctx.flowId;
+    link.flowPoint = ctx.flowId ? point : FlowPoint::none;
+    recordLinkedSpan(name, start_ns, dur_ns, link, std::move(args));
+    return link.spanId;
+}
+
+TraceContext
+Registry::currentContext()
+{
+    return tlsContext;
+}
+
+TraceContext
+Registry::setCurrentContext(const TraceContext &ctx)
+{
+    const TraceContext previous = tlsContext;
+    tlsContext = ctx;
+    return previous;
 }
 
 void

@@ -50,6 +50,37 @@ namespace uvolt::telemetry
 /** Key/value annotations attached to a trace span. */
 using TraceArgs = std::vector<std::pair<std::string, std::string>>;
 
+/**
+ * How a span participates in a cross-thread request flow. The exporter
+ * turns these into Chrome flow events (ph:"s"/"t"/"f") bound to the
+ * span, which is what draws the connecting arrows in Perfetto.
+ */
+enum class FlowPoint : std::uint8_t
+{
+    none = 0, ///< plain span, no flow binding
+    start,    ///< first span of a flow (one per flow id)
+    step,     ///< intermediate hop (queue wait, worker segment, retry)
+    finish,   ///< terminal span of a flow (one per flow id)
+};
+
+/**
+ * Request-scoped linkage handed across threads. Minted where a request
+ * enters the system (UvoltServer admission, FleetEngine submit) and
+ * carried explicitly through queues; a worker installs it with
+ * ContextScope so every span it opens joins the request's flow and
+ * parents under the span that enqueued the work.
+ *
+ * Defined outside the compile-out guard: code that stores or passes a
+ * TraceContext builds identically under -DUVOLT_TELEMETRY=OFF.
+ */
+struct TraceContext
+{
+    std::uint64_t flowId = 0; ///< request/flow id; 0 = not in a flow
+    std::uint64_t spanId = 0; ///< span to parent under; 0 = root
+
+    bool active() const { return flowId != 0; }
+};
+
 /** One completed span ("X" event in the Chrome trace format). */
 struct TraceEvent
 {
@@ -57,6 +88,10 @@ struct TraceEvent
     std::uint64_t startNs = 0; ///< since the registry's epoch
     std::uint64_t durNs = 0;
     std::uint32_t tid = 0;   ///< registry-assigned thread id
+    std::uint64_t spanId = 0;   ///< unique per span; 0 = unlinked
+    std::uint64_t parentId = 0; ///< enclosing/enqueuing span; 0 = root
+    std::uint64_t flowId = 0;   ///< request flow membership; 0 = none
+    FlowPoint flowPoint = FlowPoint::none;
     TraceArgs args;
 };
 
@@ -114,6 +149,24 @@ namespace detail
 
 /** The global on/off switch (relaxed loads on every hot path). */
 extern std::atomic<bool> enabledFlag;
+
+/** Linkage computed when a scoped span opens. */
+struct SpanLink
+{
+    std::uint64_t spanId = 0;
+    std::uint64_t parentId = 0;
+    std::uint64_t flowId = 0;
+    FlowPoint flowPoint = FlowPoint::none;
+};
+
+/**
+ * Open/close the calling thread's span stack. A span parents under the
+ * innermost open span; the outermost span of a thread segment parents
+ * under the installed TraceContext and becomes a flow step, which is
+ * how a request's track reconnects after crossing a queue.
+ */
+SpanLink openSpanLink();
+void closeSpanLink();
 
 } // namespace detail
 
@@ -235,6 +288,36 @@ class Registry
                     std::uint64_t dur_ns, TraceArgs args = {});
 
     /**
+     * Mint a process-unique flow id (never 0). One flow = one request's
+     * journey across threads; every minting site shares this pool so
+     * serve and fleet flows can never collide in one trace.
+     */
+    std::uint64_t mintFlowId();
+
+    /**
+     * Record a span explicitly bound to a flow: it parents under
+     * @a ctx.spanId and emits a flow point at its start time. Returns
+     * the new span's id (0 when disabled) so the caller can hand it to
+     * the next hop as the parent.
+     */
+    std::uint64_t recordFlowSpan(const char *name, std::uint64_t start_ns,
+                                 std::uint64_t dur_ns,
+                                 const TraceContext &ctx, FlowPoint point,
+                                 TraceArgs args = {});
+
+    /** Record a span with precomputed linkage (TraceScope's dtor). */
+    void recordLinkedSpan(const char *name, std::uint64_t start_ns,
+                          std::uint64_t dur_ns,
+                          const detail::SpanLink &link,
+                          TraceArgs args = {});
+
+    /** The calling thread's installed request context ({} if none). */
+    static TraceContext currentContext();
+
+    /** Install @a ctx on the calling thread; returns the previous one. */
+    static TraceContext setCurrentContext(const TraceContext &ctx);
+
+    /**
      * Zero every metric value and drop every recorded span, keeping all
      * registrations (call-site handle caches stay valid). Tests only.
      */
@@ -261,8 +344,10 @@ class TraceScope
     explicit TraceScope(const char *name) : name_(name)
     {
         active_ = Telemetry::enabled();
-        if (active_)
+        if (active_) {
+            link_ = detail::openSpanLink();
             startNs_ = Registry::global().nowNs();
+        }
     }
 
     template <typename ArgsFn>
@@ -271,6 +356,7 @@ class TraceScope
         active_ = Telemetry::enabled();
         if (active_) {
             args_ = make_args();
+            link_ = detail::openSpanLink();
             startNs_ = Registry::global().nowNs();
         }
     }
@@ -279,10 +365,11 @@ class TraceScope
     {
         if (!active_)
             return;
+        detail::closeSpanLink();
         Registry &registry = Registry::global();
-        registry.recordSpan(name_, startNs_,
-                            registry.nowNs() - startNs_,
-                            std::move(args_));
+        registry.recordLinkedSpan(name_, startNs_,
+                                  registry.nowNs() - startNs_, link_,
+                                  std::move(args_));
     }
 
     TraceScope(const TraceScope &) = delete;
@@ -292,7 +379,31 @@ class TraceScope
     const char *name_;
     std::uint64_t startNs_ = 0;
     TraceArgs args_;
+    detail::SpanLink link_;
     bool active_;
+};
+
+/**
+ * RAII installation of a request context on the current thread. Opened
+ * by a worker right after it dequeues an item; every TraceScope under
+ * it joins the request's flow, and spans recorded on other threads in
+ * between are reconnected by the exporter's flow arrows.
+ */
+class ContextScope
+{
+  public:
+    explicit ContextScope(const TraceContext &ctx)
+        : previous_(Registry::setCurrentContext(ctx))
+    {
+    }
+
+    ~ContextScope() { Registry::setCurrentContext(previous_); }
+
+    ContextScope(const ContextScope &) = delete;
+    ContextScope &operator=(const ContextScope &) = delete;
+
+  private:
+    TraceContext previous_;
 };
 
 #define UVOLT_TELEMETRY_CAT2(a, b) a##b
@@ -367,12 +478,32 @@ class Registry
                     TraceArgs = {})
     {
     }
+    std::uint64_t mintFlowId() { return 0; }
+    std::uint64_t recordFlowSpan(const char *, std::uint64_t,
+                                 std::uint64_t, const TraceContext &,
+                                 FlowPoint, TraceArgs = {})
+    {
+        return 0;
+    }
+    static TraceContext currentContext() { return {}; }
+    static TraceContext setCurrentContext(const TraceContext &)
+    {
+        return {};
+    }
     void resetForTest() {}
 
   private:
     Counter counter_;
     Gauge gauge_;
     Histogram histogram_;
+};
+
+class ContextScope
+{
+  public:
+    explicit ContextScope(const TraceContext &) {}
+    ContextScope(const ContextScope &) = delete;
+    ContextScope &operator=(const ContextScope &) = delete;
 };
 
 #define UVOLT_TRACE_SCOPE(...) ((void)0)
@@ -400,6 +531,30 @@ inline void
 setCurrentThreadName(std::string name)
 {
     Registry::global().setThreadName(std::move(name));
+}
+
+/** Shorthand for Registry::global().mintFlowId(). */
+inline std::uint64_t
+mintFlowId()
+{
+    return Registry::global().mintFlowId();
+}
+
+/** Shorthand for Registry::global().recordFlowSpan(...). */
+inline std::uint64_t
+recordFlowSpan(const char *name, std::uint64_t start_ns,
+               std::uint64_t dur_ns, const TraceContext &ctx,
+               FlowPoint point, TraceArgs args = {})
+{
+    return Registry::global().recordFlowSpan(name, start_ns, dur_ns, ctx,
+                                             point, std::move(args));
+}
+
+/** Shorthand for Registry::currentContext(). */
+inline TraceContext
+currentContext()
+{
+    return Registry::currentContext();
 }
 
 } // namespace uvolt::telemetry

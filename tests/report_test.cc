@@ -300,6 +300,10 @@ sampleManifest()
     manifest.dieRates = {{"VC707", 642.0}, {"ZC702", 151.25}};
     manifest.artifacts = {"results/ledger", "uvolt_model_cache"};
     manifest.counters = {{"fleet.jobs", 2}, {"sweep.campaigns", 2}};
+    manifest.tracePath = "results/ext_serve_trace.json";
+    manifest.prometheusPath = "results/ext_serve_metrics.prom";
+    manifest.blackboxPaths = {"results/blackbox_degraded.json",
+                              "results/blackbox_deadline_storm.json"};
     return manifest;
 }
 
@@ -329,6 +333,9 @@ TEST(Ledger, ManifestRoundTripsThroughJson)
     EXPECT_EQ(back.dieRates, manifest.dieRates);
     EXPECT_EQ(back.artifacts, manifest.artifacts);
     EXPECT_EQ(back.counters, manifest.counters);
+    EXPECT_EQ(back.tracePath, manifest.tracePath);
+    EXPECT_EQ(back.prometheusPath, manifest.prometheusPath);
+    EXPECT_EQ(back.blackboxPaths, manifest.blackboxPaths);
 }
 
 TEST(Ledger, RejectsForeignSchemas)

@@ -15,10 +15,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -30,6 +36,9 @@
 #include "serve/health.hh"
 #include "serve/request_queue.hh"
 #include "serve/server.hh"
+#include "util/flight_recorder.hh"
+#include "util/json.hh"
+#include "util/telemetry.hh"
 
 namespace uvolt::serve
 {
@@ -727,6 +736,286 @@ TEST(ServeIdentity, RepeatedRequestsAreIdempotent)
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     expectSameSweep(a.value().sweep, b.value().sweep);
+    server.stop();
+}
+
+// --- observability -------------------------------------------------------
+
+/** Enable telemetry for one test; restore and wipe on exit. */
+class TelemetryOn
+{
+  public:
+    TelemetryOn()
+    {
+        was_ = telemetry::Telemetry::enabled();
+        telemetry::Registry::global().resetForTest();
+        telemetry::Telemetry::setEnabled(true);
+    }
+
+    ~TelemetryOn()
+    {
+        telemetry::Telemetry::setEnabled(was_);
+        telemetry::Registry::global().resetForTest();
+    }
+
+  private:
+    bool was_;
+};
+
+/**
+ * Every request admitted with telemetry on is one connected, well-
+ * formed flow: exactly one start ("serve.admit"), at least one step
+ * (the queue-wait hop), exactly one finish ("serve.request" or
+ * "serve.reject"), and every child span's parent was recorded. Holds
+ * at every worker count, including the degenerate single worker.
+ */
+void
+expectServeFlowsWellFormed(std::size_t workers, std::size_t admitted)
+{
+    TelemetryOn guard;
+
+    ServerConfig config;
+    config.workers = workers;
+    config.modelProvider = fixedProvider();
+    config.blackboxDir = ""; // no dumps from this test
+    UvoltServer server(std::move(config));
+
+    std::vector<std::future<Expected<ClassifyResponse>>> classifies;
+    for (std::size_t i = 0; i + 1 < admitted; ++i)
+        classifies.push_back(
+            server.submitClassify(forestRequest(4, 10 + i, 850))
+                .orFatal());
+    CharacterizeRequest characterize;
+    characterize.platform = "ZC702";
+    characterize.runsPerLevel = 3;
+    auto sweep = server.submitCharacterize(characterize).orFatal();
+    for (auto &future : classifies)
+        ASSERT_TRUE(future.get().ok());
+    ASSERT_TRUE(sweep.get().ok());
+    server.stop();
+
+    const auto events = telemetry::Registry::global().traceEvents();
+    std::set<std::uint64_t> spans;
+    for (const auto &event : events) {
+        if (event.spanId != 0)
+            spans.insert(event.spanId);
+    }
+    std::map<std::uint64_t, std::array<int, 3>> flows; // s, t, f
+    for (const auto &event : events) {
+        if (event.parentId != 0) {
+            EXPECT_TRUE(spans.count(event.parentId))
+                << event.name << " parents under an unrecorded span";
+        }
+        if (event.flowId != 0 &&
+            event.flowPoint != telemetry::FlowPoint::none) {
+            auto &counts = flows[event.flowId];
+            switch (event.flowPoint) {
+              case telemetry::FlowPoint::start: ++counts[0]; break;
+              case telemetry::FlowPoint::step: ++counts[1]; break;
+              default: ++counts[2]; break;
+            }
+        }
+    }
+    EXPECT_EQ(flows.size(), admitted) << "workers=" << workers;
+    for (const auto &[flow, counts] : flows) {
+        EXPECT_EQ(counts[0], 1) << "flow " << flow << " starts";
+        EXPECT_GE(counts[1], 1) << "flow " << flow << " steps";
+        EXPECT_EQ(counts[2], 1) << "flow " << flow << " finishes";
+    }
+}
+
+TEST(ServeObservability, RequestFlowsWellFormedAtAnyWorkerCount)
+{
+    if (!telemetry::Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    for (std::size_t workers : {1u, 2u, 8u})
+        expectServeFlowsWellFormed(workers, 6);
+}
+
+TEST(ServeObservability, RefusedAdmissionStillClosesItsFlow)
+{
+    if (!telemetry::Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    TelemetryOn guard;
+
+    // Capacity 1 and a worker wedged behind a characterize: the next
+    // submits hit queueFull, and each refused admission must still be a
+    // closed flow (one start, one "serve.reject" finish) — a half-open
+    // flow draws forever-dangling arrows in the viewer.
+    ServerConfig config;
+    config.workers = 1;
+    config.queueCapacity = 1;
+    config.modelProvider = fixedProvider();
+    config.blackboxDir = "";
+    UvoltServer server(std::move(config));
+
+    CharacterizeRequest slow;
+    slow.platform = "ZC702";
+    slow.runsPerLevel = 3;
+    auto wedge = server.submitCharacterize(slow).orFatal();
+    std::uint64_t rejected = 0;
+    for (int i = 0; i < 32; ++i) {
+        auto admitted = server.submitClassify(forestRequest(2, i, 850));
+        if (admitted.ok())
+            ASSERT_TRUE(admitted.take().get().ok());
+        else
+            ++rejected;
+    }
+    ASSERT_TRUE(wedge.get().ok());
+    server.stop();
+
+    std::map<std::uint64_t, std::pair<int, int>> flows; // starts, ends
+    std::uint64_t reject_spans = 0;
+    for (const auto &event :
+         telemetry::Registry::global().traceEvents()) {
+        reject_spans += std::string_view(event.name) == "serve.reject";
+        if (event.flowId == 0)
+            continue;
+        if (event.flowPoint == telemetry::FlowPoint::start)
+            ++flows[event.flowId].first;
+        else if (event.flowPoint == telemetry::FlowPoint::finish)
+            ++flows[event.flowId].second;
+    }
+    EXPECT_GT(rejected, 0u);
+    EXPECT_EQ(reject_spans, rejected);
+    for (const auto &[flow, counts] : flows) {
+        EXPECT_EQ(counts.first, 1) << "flow " << flow;
+        EXPECT_EQ(counts.second, 1) << "flow " << flow;
+    }
+}
+
+TEST(ServeObservability, DegradationTransitionDumpsBlackbox)
+{
+    if (!telemetry::Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    const std::string dir = scratchDir("uvolt_serve_blackbox");
+    flightrec::FlightRecorder::global().resetForTest();
+
+    ServerConfig config;
+    config.workers = 1;
+    config.modelProvider = fixedProvider();
+    config.blackboxDir = dir;
+    UvoltServer server(std::move(config));
+
+    // One completed request seeds the ring (an empty black box is
+    // never written), then a scripted storm forces the transition.
+    ASSERT_TRUE(server.submitClassify(forestRequest(2, 1, 850))
+                    .orFatal()
+                    .get()
+                    .ok());
+    flightrec::note(flightrec::Level::info, "test", "storm incoming");
+    for (int i = 0; i < 12; ++i)
+        server.observeFaultPressure(3.0);
+    EXPECT_EQ(server.healthState(), ServeState::degraded);
+    server.stop();
+
+    const std::string path = dir + "/blackbox_degraded.json";
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    auto parsed = json::Value::parse(content.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    const json::Value &root = parsed.value();
+    EXPECT_EQ(root.stringOr("schema", ""), "uvolt-blackbox-v1");
+    const json::Value *events = root.find("events");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_FALSE(events->items().empty());
+    // The transition note itself must be in the box: the dump happens
+    // after the recorder sees the "health normal -> degraded" event.
+    bool transition_noted = false;
+    std::uint64_t last_seq = 0;
+    for (const json::Value &event : events->items()) {
+        ASSERT_TRUE(event.isObject());
+        const auto seq =
+            static_cast<std::uint64_t>(event.numberOr("seq", 0));
+        EXPECT_GT(seq, last_seq) << "merge must preserve seq order";
+        last_seq = seq;
+        if (event.stringOr("component", "") == "serve" &&
+            event.stringOr("message", "").find("degraded") !=
+                std::string::npos)
+            transition_noted = true;
+    }
+    EXPECT_TRUE(transition_noted);
+    const auto dumps = flightrec::FlightRecorder::global().dumps();
+    EXPECT_NE(std::find(dumps.begin(), dumps.end(), path), dumps.end());
+    flightrec::FlightRecorder::global().resetForTest();
+}
+
+TEST(ServeObservability, DeadlineStormDumpsBlackbox)
+{
+    if (!telemetry::Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    const std::string dir = scratchDir("uvolt_serve_deadline_storm");
+    flightrec::FlightRecorder::global().resetForTest();
+
+    ServerConfig config;
+    config.workers = 1;
+    config.modelProvider = fixedProvider();
+    config.blackboxDir = dir;
+    config.deadlineStormThreshold = 3;
+    UvoltServer server(std::move(config));
+
+    // Every request is born expired: each expiry extends the streak,
+    // and the third crossing dumps the recorder.
+    for (int i = 0; i < 4; ++i) {
+        ClassifyRequest request = forestRequest(2, 50 + i, 850);
+        request.deadlineMs = 1e-3;
+        auto future = server.submitClassify(std::move(request));
+        ASSERT_TRUE(future.ok());
+        const auto response = future.take().get();
+        ASSERT_FALSE(response.ok());
+        EXPECT_EQ(response.error().code, Errc::deadlineExceeded);
+    }
+    server.stop();
+
+    EXPECT_TRUE(std::filesystem::exists(
+        dir + "/blackbox_deadline_storm.json"));
+    flightrec::FlightRecorder::global().resetForTest();
+}
+
+TEST(ServeObservability, StatusReportMatchesLedgerAndRenders)
+{
+    TelemetryOn guard;
+
+    ServerConfig config;
+    config.workers = 2;
+    config.modelProvider = fixedProvider();
+    config.blackboxDir = "";
+    config.errorBudget = 0.5;
+    UvoltServer server(std::move(config));
+
+    for (int i = 0; i < 6; ++i)
+        ASSERT_TRUE(server.submitClassify(forestRequest(4, i, 850))
+                        .orFatal()
+                        .get()
+                        .ok());
+    ClassifyRequest hopeless = forestRequest(2, 99, 850);
+    hopeless.deadlineMs = 1e-3;
+    ASSERT_FALSE(
+        server.submitClassify(std::move(hopeless)).orFatal().get().ok());
+    server.drain();
+
+    const StatusReport report = server.statusReport();
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(report.stats.admitted, stats.admitted);
+    EXPECT_EQ(report.stats.completed, stats.completed);
+    EXPECT_EQ(report.stats.failed, stats.failed);
+    EXPECT_EQ(report.queueDepth, 0u);
+    EXPECT_EQ(report.queueCapacity, 64u);
+    EXPECT_EQ(report.state, ServeState::normal);
+    // 1 failure of 7 responses over a 0.5 budget = 2/7 burned.
+    EXPECT_NEAR(report.errorBudgetBurn, (1.0 / 7.0) / 0.5, 1e-9);
+    if (telemetry::Telemetry::compiledIn()) {
+        EXPECT_GT(report.e2eP99Ms, 0.0);
+        EXPECT_GT(report.classifyP50Ms, 0.0);
+    }
+
+    const std::string screen = report.render();
+    EXPECT_NE(screen.find("state"), std::string::npos);
+    EXPECT_NE(screen.find("normal"), std::string::npos);
+    EXPECT_NE(screen.find("error budget"), std::string::npos);
     server.stop();
 }
 

@@ -10,11 +10,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "harness/campaign.hh"
+#include "harness/fleet.hh"
 #include "harness/report.hh"
+#include "util/flight_recorder.hh"
+#include "util/json.hh"
 #include "util/telemetry.hh"
 #include "util/thread_pool.hh"
 
@@ -359,6 +367,204 @@ TEST(TelemetryTest, MetricsSnapshotExporters)
 
     const TextTable table = harness::metricsTable(snapshot);
     EXPECT_GE(table.rows(), 3u);
+}
+
+TEST(TelemetryTest, FleetFlowLinkageWellFormedAtAnyWorkerCount)
+{
+    if (!Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+
+    // Each fleet job is one flow: a "fleet.submit" start on the
+    // submitting thread, a queue-wait step and a "fleet.done" finish on
+    // whichever worker ran it. The linkage must be closed at every
+    // worker count — 0 (inline execution), 1, and a real pool — and
+    // every child span's parent must itself have been recorded.
+    harness::FleetPlan plan = harness::FleetPlan::crossProduct(
+        {"ZC702"}, {harness::PatternSpec::allOnes(),
+                    harness::PatternSpec::fixed(0x0000)},
+        {50.0});
+    plan.runsPerLevel = 3;
+
+    for (std::size_t workers : {0u, 1u, 8u}) {
+        TelemetryOn guard;
+        harness::FleetEngine engine;
+        ThreadPool pool(workers);
+        ASSERT_TRUE(engine.run(plan, pool).ok())
+            << "workers=" << workers;
+
+        const auto events = Registry::global().traceEvents();
+        std::set<std::uint64_t> spans;
+        for (const auto &event : events) {
+            if (event.spanId != 0)
+                spans.insert(event.spanId);
+        }
+        std::map<std::uint64_t, std::array<int, 3>> flows; // s, t, f
+        for (const auto &event : events) {
+            if (event.parentId != 0) {
+                EXPECT_TRUE(spans.count(event.parentId))
+                    << event.name << " has a dangling parent at "
+                    << workers << " workers";
+            }
+            if (event.flowId != 0 &&
+                event.flowPoint != FlowPoint::none) {
+                auto &counts = flows[event.flowId];
+                switch (event.flowPoint) {
+                  case FlowPoint::start: ++counts[0]; break;
+                  case FlowPoint::step: ++counts[1]; break;
+                  default: ++counts[2]; break;
+                }
+            }
+        }
+        EXPECT_EQ(flows.size(), plan.jobs.size())
+            << "workers=" << workers;
+        for (const auto &[flow, counts] : flows) {
+            EXPECT_EQ(counts[0], 1) << "flow " << flow << " starts";
+            EXPECT_EQ(counts[2], 1) << "flow " << flow << " finishes";
+        }
+    }
+}
+
+TEST(TelemetryTest, PrometheusExpositionGoldenFile)
+{
+    // A synthetic snapshot (no live registry: other suites register
+    // global metrics that would bleed into the document) rendered to
+    // the exact text-format bytes, cumulative buckets included.
+    MetricsSnapshot snapshot;
+    snapshot.counters = {{"serve.admitted", 3}};
+    snapshot.gauges = {{"serve.queue_depth", 2.0}};
+    HistogramSnapshot histogram;
+    histogram.name = "serve.e2e_ms";
+    histogram.bounds = {0.5, 1.0, 2.0};
+    histogram.buckets = {1, 2, 0, 1}; // per-bucket counts + overflow
+    histogram.count = 4;
+    histogram.sum = 3.25;
+    snapshot.histograms = {histogram};
+
+    const std::string expected =
+        "# TYPE uvolt_serve_admitted counter\n"
+        "uvolt_serve_admitted 3\n"
+        "# TYPE uvolt_serve_queue_depth gauge\n"
+        "uvolt_serve_queue_depth 2\n"
+        "# TYPE uvolt_serve_e2e_ms histogram\n"
+        "uvolt_serve_e2e_ms_bucket{le=\"0.5\"} 1\n"
+        "uvolt_serve_e2e_ms_bucket{le=\"1\"} 3\n"
+        "uvolt_serve_e2e_ms_bucket{le=\"2\"} 3\n"
+        "uvolt_serve_e2e_ms_bucket{le=\"+Inf\"} 4\n"
+        "uvolt_serve_e2e_ms_sum 3.25\n"
+        "uvolt_serve_e2e_ms_count 4\n";
+    EXPECT_EQ(harness::prometheusText(snapshot), expected);
+}
+
+TEST(TelemetryTest, FlowRecordsBindToSliceEnds)
+{
+    // Flow starts/steps bind where their slice begins; the finish
+    // binds at the slice END — a terminal span opens back at admission
+    // time, and the arrowhead must land where the request completed.
+    std::vector<TraceEvent> events;
+    TraceEvent start;
+    start.name = "serve.admit";
+    start.startNs = 1000;
+    start.tid = 1;
+    start.spanId = 7;
+    start.flowId = 42;
+    start.flowPoint = FlowPoint::start;
+    events.push_back(start);
+    TraceEvent finish;
+    finish.name = "serve.request";
+    finish.startNs = 1000;
+    finish.durNs = 5000;
+    finish.tid = 2;
+    finish.spanId = 8;
+    finish.flowId = 42;
+    finish.flowPoint = FlowPoint::finish;
+    events.push_back(finish);
+
+    const std::string json = harness::chromeTraceJson(events);
+    EXPECT_NE(json.find("\"ph\":\"s\",\"id\":42,\"pid\":1,\"tid\":1,"
+                        "\"ts\":1.000"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"ph\":\"f\",\"id\":42,\"pid\":1,\"tid\":2,"
+                        "\"ts\":6.000,\"bp\":\"e\""),
+              std::string::npos)
+        << json;
+    // Linkage args ride on the X records as strings.
+    EXPECT_NE(json.find("\"span\":\"7\",\"parent\":\"0\",\"flow\":"
+                        "\"42\""),
+              std::string::npos)
+        << json;
+}
+
+TEST(TelemetryTest, FlightRecorderDumpSchema)
+{
+    if (!Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    auto &recorder = flightrec::FlightRecorder::global();
+    recorder.resetForTest();
+
+    flightrec::note(flightrec::Level::info, "test", "first", 11);
+    flightrec::note(flightrec::Level::warn, "pmbus",
+                    "NACK on setpoint write");
+    flightrec::note(flightrec::Level::error, "serve",
+                    "deadline streak at 8");
+    EXPECT_EQ(recorder.recorded(), 3u);
+    EXPECT_EQ(recorder.overwritten(), 0u);
+
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "uvolt_blackbox_schema";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string path = recorder.dump("schema check", dir.string());
+    ASSERT_FALSE(path.empty());
+    // The reason is sanitized into the file name.
+    EXPECT_EQ(path, (dir / "blackbox_schema_check.json").string());
+
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    auto parsed = json::Value::parse(content.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    const json::Value &root = parsed.value();
+    EXPECT_EQ(root.stringOr("schema", ""), "uvolt-blackbox-v1");
+    EXPECT_EQ(root.numberOr("recorded", 0), 3.0);
+    EXPECT_EQ(root.numberOr("dropped", -1), 0.0);
+    const json::Value *events = root.find("events");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_EQ(events->items().size(), 3u);
+    const json::Value &first = events->items().front();
+    EXPECT_EQ(first.stringOr("level", ""), "info");
+    EXPECT_EQ(first.stringOr("component", ""), "test");
+    EXPECT_EQ(first.stringOr("message", ""), "first");
+    EXPECT_EQ(first.numberOr("request", 0), 11.0);
+    EXPECT_GT(first.numberOr("seq", 0), 0.0);
+
+    // An empty ring refuses to dump: a blank black box is noise.
+    recorder.resetForTest();
+    EXPECT_TRUE(recorder.dump("empty", dir.string()).empty());
+}
+
+TEST(TelemetryTest, FlightRecorderRingOverwritesOldest)
+{
+    if (!Telemetry::compiledIn())
+        GTEST_SKIP() << "telemetry compiled out";
+    auto &recorder = flightrec::FlightRecorder::global();
+    recorder.resetForTest();
+
+    const std::size_t capacity =
+        flightrec::FlightRecorder::shardCapacity;
+    for (std::size_t i = 0; i < capacity + 10; ++i)
+        flightrec::note(flightrec::Level::debug, "test",
+                        "event " + std::to_string(i));
+    EXPECT_EQ(recorder.recorded(), capacity + 10);
+    EXPECT_EQ(recorder.overwritten(), 10u);
+    const auto events = recorder.snapshot();
+    ASSERT_EQ(events.size(), capacity);
+    // The retained window is the most recent `capacity` events, still
+    // in sequence order after the wrap.
+    EXPECT_EQ(events.front().seq, 11u);
+    EXPECT_EQ(events.back().seq, capacity + 10);
+    recorder.resetForTest();
 }
 
 } // namespace

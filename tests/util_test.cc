@@ -15,6 +15,7 @@
 #include "util/cli.hh"
 #include "util/format.hh"
 #include "util/fsio.hh"
+#include "util/logging.hh"
 #include "util/kmeans.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -433,6 +434,33 @@ TEST(Fsio, FailedWriteKeepsPreviousContentAndReportsCode)
     EXPECT_EQ(failed.error().code, Errc::badCheckpoint);
     EXPECT_FALSE(std::filesystem::exists(path));
     std::filesystem::remove_all(root);
+}
+
+// --- stderr rate limiting -----------------------------------------------
+
+TEST(Logging, TokenBucketSuppressesStorms)
+{
+    // A fresh component name gets a fresh bucket (burst of 8, refill
+    // 4/s): a back-to-back storm of 40 lines prints the burst and
+    // swallows the rest. The storm runs in well under a second, so at
+    // most a few refill tokens can leak back in — assert with slack.
+    setLogRateLimit(true);
+    const LogStats before = logStats();
+    for (int i = 0; i < 40; ++i)
+        warnc("ratelimit_test", "storm line {}", i);
+    const LogStats after = logStats();
+    EXPECT_GE(after.suppressed - before.suppressed, 25u);
+    EXPECT_LE(after.emitted - before.emitted, 12u);
+
+    // With the bucket off, every line is admitted.
+    setLogRateLimit(false);
+    const LogStats open = logStats();
+    for (int i = 0; i < 5; ++i)
+        warnc("ratelimit_test", "unthrottled line {}", i);
+    const LogStats closed = logStats();
+    setLogRateLimit(true);
+    EXPECT_EQ(closed.suppressed - open.suppressed, 0u);
+    EXPECT_EQ(closed.emitted - open.emitted, 5u);
 }
 
 } // namespace
