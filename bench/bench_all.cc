@@ -28,6 +28,8 @@
 #include "data/synthetic.hh"
 #include "harness/campaign.hh"
 #include "harness/fvm.hh"
+#include "harness/ledger.hh"
+#include "harness/timeline.hh"
 #include "nn/network.hh"
 #include "nn/quantizer.hh"
 #include "pmbus/board.hh"
@@ -391,6 +393,8 @@ main(int argc, char **argv)
                   "calibrated minimum time per repeat");
     cli.addString("filter", "", "substring filter on benchmark names");
     cli.addBool("list", "list registered benchmarks and exit");
+    cli.addString("timeline", harness::Timeline::defaultPath(),
+                  "perf-timeline JSONL to append to (\"\" disables)");
     if (!cli.parse(argc, argv))
         return 0;
 
@@ -422,5 +426,33 @@ main(int argc, char **argv)
     std::printf("\nwrote %zu benchmark(s) to %s (git %s)\n",
                 results.size(), out.c_str(),
                 bench::buildGitSha().c_str());
+
+    // One uvolt-timeline-v1 row per suite run: median ns/iter of every
+    // bench, keyed by name, for scripts/check_drift.py's history gate.
+    if (const std::string timeline_path = cli.getString("timeline");
+        !timeline_path.empty()) {
+        double total_ms = 0.0;
+        harness::TimelineRow row;
+        row.tool = "bench_all";
+        row.gitSha = bench::buildGitSha();
+        row.startedAtIso = harness::nowIso8601();
+        row.configDigest = harness::configDigest(
+            strFormat("bench_all;repeats={};min_time_ms={};filter={}",
+                      options.repeats, options.minTimeMs,
+                      options.filter));
+        row.runId = strFormat("{}-{}", row.configDigest.substr(0, 8),
+                              row.startedAtIso);
+        row.workers = 1;
+        for (const auto &result : results) {
+            row.metrics.emplace_back(result.name + ".median_ns",
+                                     result.wall.medianNs);
+            total_ms += result.wall.medianNs / 1e6;
+        }
+        row.durationMs = total_ms;
+        harness::Timeline timeline(timeline_path);
+        if (timeline.append(row).ok())
+            std::printf("timeline: appended run %s -> %s\n",
+                        row.runId.c_str(), timeline.path().c_str());
+    }
     return 0;
 }

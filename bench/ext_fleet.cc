@@ -20,7 +20,14 @@
  *      consumer sees),
  *  (d) the observability artifacts themselves: a Chrome trace of the
  *      pooled fleet (results/ext_fleet_trace.json — drop it on
- *      ui.perfetto.dev) and the merged metrics snapshot.
+ *      ui.perfetto.dev), the merged metrics snapshot, and a sampled
+ *      CPU profile of the whole run (results/profile_ext_fleet.folded
+ *      for flamegraph tools, .html as a self-contained flame graph —
+ *      the README "Profile a campaign" walkthrough).
+ *
+ * The run also appends one uvolt-timeline-v1 row (serial/parallel wall
+ * clock, speedup, profile top-frames) to results/timeline.jsonl so
+ * scripts/check_drift.py can flag cross-run drift.
  */
 
 #include <array>
@@ -30,8 +37,12 @@
 #include <iostream>
 
 #include "harness/campaign.hh"
+#include "harness/ledger.hh"
 #include "harness/report.hh"
+#include "harness/timeline.hh"
+#include "util/bench.hh"
 #include "util/format.hh"
+#include "util/profiler.hh"
 #include "util/table.hh"
 #include "util/telemetry.hh"
 
@@ -74,6 +85,12 @@ int
 main()
 {
     telemetry::Telemetry::setEnabled(true);
+    // Continuous profiling for the whole run: the sampler only reads
+    // span stacks, so the sweeps below stay bit-identical with it on.
+    profiler::SpanProfiler &profiler = profiler::SpanProfiler::global();
+    profiler.start();
+    const std::string started_at = harness::nowIso8601();
+    const auto run_start = std::chrono::steady_clock::now();
     const std::size_t workers = ThreadPool::hardwareWorkers();
     std::printf("# Extension: parallel fleet campaigns (4 dies x 3 "
                 "patterns, %zu workers)\n\n",
@@ -194,14 +211,55 @@ main()
     writeCsv(cache_table, "results/ext_fleet_cache.csv");
 
     // --- (d) observability artifacts -------------------------------------
+    profiler.stop();
+    const profiler::Profile profile = profiler.snapshot();
     harness::writeChromeTrace("results/ext_fleet_trace.json");
     const auto snapshot = telemetry::Registry::global().metrics();
     harness::writeMetricsJson(snapshot, "results/ext_fleet_metrics.json");
     harness::writeMetricsCsv(snapshot, "results/ext_fleet_metrics.csv");
+    profiler::writeFolded(profile, "results/profile_ext_fleet.folded");
+    harness::writeFlameGraph(
+        profile,
+        strFormat("ext_fleet — {} samples @ {}us", profile.samples,
+                  profile.intervalUs),
+        "results/profile_ext_fleet.html");
     std::printf("\ntelemetry: %zu spans -> results/ext_fleet_trace.json "
                 "(open in ui.perfetto.dev); metrics snapshot -> "
                 "results/ext_fleet_metrics.{json,csv}\n",
                 telemetry::Registry::global().traceEvents().size());
+    std::printf("profile: %llu samples (%zu stacks) -> "
+                "results/profile_ext_fleet.{folded,html}\n",
+                static_cast<unsigned long long>(profile.samples),
+                profile.folded.size());
+    for (const auto &frame : profile.topFrames(5)) {
+        std::printf("  %-24s self %6llu  total %6llu\n",
+                    frame.name.c_str(),
+                    static_cast<unsigned long long>(frame.self),
+                    static_cast<unsigned long long>(frame.total));
+    }
+
+    // --- perf timeline row ------------------------------------------------
+    {
+        harness::TimelineRow row;
+        row.tool = "ext_fleet";
+        row.gitSha = bench::buildGitSha();
+        row.startedAtIso = started_at;
+        row.configDigest = harness::configDigest(strFormat(
+            "ext_fleet;dies=4;patterns=3;sweep=15;workers={}", workers));
+        row.runId = strFormat("{}-{}", row.configDigest.substr(0, 8),
+                              started_at);
+        row.workers = workers;
+        row.durationMs = msSince(run_start);
+        row.metrics = {{"serial_ms", serial_ms},
+                       {"parallel_ms", parallel_ms},
+                       {"speedup", serial_ms / parallel_ms}};
+        for (const auto &frame : profile.topFrames(5))
+            row.topFrames.emplace_back(frame.name, frame.self);
+        harness::Timeline timeline;
+        if (timeline.append(row).ok())
+            std::printf("timeline: appended run %s -> %s\n",
+                        row.runId.c_str(), timeline.path().c_str());
+    }
     std::printf("  pmbus: %llu setpoint writes (%llu retried), link "
                 "retransmits %llu; fleet: %llu jobs, cache hit rate "
                 "above\n",

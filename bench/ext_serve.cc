@@ -33,9 +33,13 @@
  * one connected flow across admission -> queue -> worker, a Prometheus
  * text snapshot (--prom-out), any flight-recorder blackboxes
  * (--blackbox-dir; a scripted pressure storm under --noise guarantees
- * at least one degradation dump), and a run-ledger manifest recording
- * where all of it went. scripts/check_trace.py validates the lot in
- * the CI observability leg.
+ * at least one degradation dump), a sampled CPU profile of the whole
+ * run (--profile-out collapsed stacks, --flame-out self-contained
+ * flame graph), and a run-ledger manifest recording where all of it
+ * went. scripts/check_trace.py validates the lot in the CI
+ * observability leg, and one uvolt-timeline-v1 row (p50/p99/req-cost,
+ * profile top-frames) is appended to the perf timeline for
+ * scripts/check_drift.py.
  */
 
 #include <algorithm>
@@ -50,12 +54,11 @@
 #include <utility>
 #include <vector>
 
-#include <ctime>
-
 #include "data/synthetic.hh"
 #include "harness/experiment.hh"
 #include "harness/ledger.hh"
 #include "harness/report.hh"
+#include "harness/timeline.hh"
 #include "nn/network.hh"
 #include "pmbus/fault_injector.hh"
 #include "serve/server.hh"
@@ -63,6 +66,7 @@
 #include "util/cli.hh"
 #include "util/flight_recorder.hh"
 #include "util/format.hh"
+#include "util/profiler.hh"
 #include "util/table.hh"
 #include "util/telemetry.hh"
 
@@ -194,19 +198,6 @@ msSince(const std::chrono::steady_clock::time_point &start)
         .count();
 }
 
-/** UTC wall clock as "2026-08-05T12:34:56Z". */
-std::string
-nowIso8601()
-{
-    const std::time_t now = std::chrono::system_clock::to_time_t(
-        std::chrono::system_clock::now());
-    std::tm utc = {};
-    gmtime_r(&now, &utc);
-    return strFormat("{}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
-                     utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday,
-                     utc.tm_hour, utc.tm_min, utc.tm_sec);
-}
-
 /** A single-valued uvolt-bench-v1 row (one measured quantity). */
 bench::BenchResult
 valueRow(const std::string &name, double ns)
@@ -246,6 +237,12 @@ main(int argc, char **argv)
                   "flight-recorder dump directory (\"\" disables)");
     cli.addString("ledger-dir", "results/ledger",
                   "run-manifest directory (\"\" disables)");
+    cli.addString("profile-out", "results/profile_ext_serve.folded",
+                  "collapsed-stack profile (\"\" disables sampling)");
+    cli.addString("flame-out", "results/profile_ext_serve.html",
+                  "flame graph HTML (\"\" disables)");
+    cli.addString("timeline", harness::Timeline::defaultPath(),
+                  "perf-timeline JSONL to append to (\"\" disables)");
     const auto parsed = cli.tryParse(argc, argv);
     if (!parsed.ok()) {
         std::fprintf(stderr, "ext_serve: %s\n",
@@ -260,6 +257,17 @@ main(int argc, char **argv)
     const auto seed = static_cast<std::uint64_t>(cli.getInt("seed"));
     const bool noisy = cli.getBool("noise");
     const double noise_p = cli.getDouble("noise-p");
+
+    // Sample span stacks for the whole run (both phases). The sampler
+    // is read-only over the trace-span stacks, so every artifact below
+    // stays byte-identical with it on or off — the CI profiling leg
+    // asserts exactly that.
+    const std::string profile_out = cli.getString("profile-out");
+    const std::string flame_out = cli.getString("flame-out");
+    const std::string started_at = harness::nowIso8601();
+    profiler::SpanProfiler &profiler = profiler::SpanProfiler::global();
+    if (!profile_out.empty())
+        profiler.start();
 
     bool verdict_ok = true;
 
@@ -402,6 +410,8 @@ main(int argc, char **argv)
     const std::size_t depth_after_drain = server.queueDepth();
     const serve::StatusReport status = server.statusReport();
     server.stop();
+    profiler.stop();
+    const profiler::Profile profile = profiler.snapshot();
     std::printf("\n# status at drain\n%s", status.render().c_str());
 
     // --- the exactly-once ledger -----------------------------------------
@@ -501,13 +511,27 @@ main(int argc, char **argv)
         flightrec::FlightRecorder::global().dumps();
     for (const auto &box : blackboxes)
         std::printf("blackbox -> %s\n", box.c_str());
+    if (!profile_out.empty() && !profile.empty()) {
+        if (profiler::writeFolded(profile, profile_out))
+            std::printf("profile -> %s (%llu samples, %zu stacks)\n",
+                        profile_out.c_str(),
+                        static_cast<unsigned long long>(profile.samples),
+                        profile.folded.size());
+        if (!flame_out.empty() &&
+            harness::writeFlameGraph(
+                profile,
+                strFormat("ext_serve — {} samples @ {}us",
+                          profile.samples, profile.intervalUs),
+                flame_out))
+            std::printf("flame graph -> %s\n", flame_out.c_str());
+    }
 
     const std::string ledger_dir = cli.getString("ledger-dir");
     if (!ledger_dir.empty()) {
         harness::RunManifest manifest;
         manifest.tool = "UvoltServer";
         manifest.gitSha = bench::buildGitSha();
-        manifest.startedAtIso = nowIso8601();
+        manifest.startedAtIso = started_at;
         manifest.configDigest = harness::configDigest(strFormat(
             "serve;requests={};clients={};workers={};queue={};"
             "noisy={};seed={}",
@@ -540,6 +564,39 @@ main(int argc, char **argv)
             std::printf("manifest -> %s/run_manifest.json\n",
                         ledger_dir.c_str());
         }
+    }
+
+    // --- perf timeline row ------------------------------------------------
+    if (const std::string timeline_path = cli.getString("timeline");
+        !timeline_path.empty()) {
+        harness::TimelineRow row;
+        row.tool = "ext_serve";
+        row.gitSha = bench::buildGitSha();
+        row.startedAtIso = started_at;
+        row.configDigest = harness::configDigest(strFormat(
+            "serve;requests={};clients={};workers={};queue={};"
+            "noisy={};seed={}",
+            requests, clients, cli.getInt("workers"),
+            cli.getInt("queue-capacity"), noisy ? 1 : 0, seed));
+        row.runId = strFormat("{}-{}", row.configDigest.substr(0, 8),
+                              started_at);
+        row.workers =
+            static_cast<std::uint64_t>(cli.getInt("workers"));
+        row.durationMs = load_ms;
+        row.metrics = {
+            {"e2e_p50_ms", p50_ms},
+            {"e2e_p99_ms", p99_ms},
+            {"req_cost_ms",
+             stats.completed
+                 ? load_ms / static_cast<double>(stats.completed)
+                 : 0.0},
+            {"throughput_rps", throughput}};
+        for (const auto &frame : profile.topFrames(5))
+            row.topFrames.emplace_back(frame.name, frame.self);
+        harness::Timeline timeline(timeline_path);
+        if (timeline.append(row).ok())
+            std::printf("timeline: appended run %s -> %s\n",
+                        row.runId.c_str(), timeline.path().c_str());
     }
 
     std::printf("\nlatency rows -> %s (gate: "

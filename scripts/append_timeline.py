@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Append one uvolt-timeline-v1 row from a uvolt-bench-v1 document.
+
+Usage:
+    scripts/append_timeline.py BENCH.json \
+        [--timeline results/timeline.jsonl] [--tool NAME] \
+        [--gate GATE.json] [--started-at ISO8601]
+
+The C++ binaries (bench_all, ext_fleet, ext_serve) stamp the timeline
+themselves; this script covers the other direction — CI legs that
+already hold a bench document (e.g. a sanitizer build, or a historical
+BENCH_uvolt.json being backfilled) and want it in the run history that
+scripts/check_drift.py gates. Each benchmark's median wall ns/iter
+becomes one metric ("<name>.median_ns"), matching what bench_all
+writes natively, so backfilled and native rows share a series.
+
+--gate ingests a uvolt-gate-v1 verdict (check_regression.py --json)
+and carries each gated benchmark's baseline ratio along as
+"<name>.gate_ratio" — the timeline then records not just how fast the
+run was but how close to its committed budget it came.
+
+The append is a single O_APPEND write of one line, the same discipline
+util/fsio's appendFileRecord uses, so stamping from concurrent CI legs
+interleaves whole rows.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+BENCH_SCHEMA = "uvolt-bench-v1"
+GATE_SCHEMA = "uvolt-gate-v1"
+TIMELINE_SCHEMA = "uvolt-timeline-v1"
+
+
+def load(path, schema):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot load '{path}': {err}")
+    if doc.get("schema") != schema:
+        sys.exit(f"error: '{path}' is not a {schema} document "
+                 f"(schema = {doc.get('schema')!r})")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("bench", help="uvolt-bench-v1 document")
+    parser.add_argument("--timeline",
+                        default=os.environ.get(
+                            "UVOLT_TIMELINE", "results/timeline.jsonl"),
+                        help="timeline JSONL to append to")
+    parser.add_argument("--tool", default="bench_all",
+                        help="tool name the row is keyed under")
+    parser.add_argument("--gate", default="",
+                        help="uvolt-gate-v1 verdict to fold in")
+    parser.add_argument("--started-at", default="",
+                        help="row timestamp (default: now, UTC)")
+    args = parser.parse_args()
+
+    doc = load(args.bench, BENCH_SCHEMA)
+    started = args.started_at or time.strftime(
+        "%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+    metrics = {}
+    duration_ms = 0.0
+    for bench in doc.get("benchmarks", []):
+        median_ns = float(bench.get("wall", {}).get("median_ns", 0.0))
+        metrics[bench["name"] + ".median_ns"] = median_ns
+        duration_ms += median_ns / 1e6
+
+    if args.gate:
+        gate = load(args.gate, GATE_SCHEMA)
+        for row in gate.get("rows", []):
+            if isinstance(row.get("ratio"), (int, float)):
+                metrics[row["name"] + ".gate_ratio"] = row["ratio"]
+
+    options = doc.get("options", {})
+    config = (f"{args.tool};repeats={options.get('repeats', 0)};"
+              f"min_time_ms={options.get('min_time_ms', 0.0)}")
+    digest = hashlib.sha256(config.encode()).hexdigest()[:16]
+
+    row = {
+        "schema": TIMELINE_SCHEMA,
+        "tool": args.tool,
+        "run_id": f"{digest[:8]}-{started}",
+        "git_sha": doc.get("git_sha", "unknown"),
+        "started_at": started,
+        "config_digest": digest,
+        "workers": 1,
+        "duration_ms": round(duration_ms, 3),
+        "metrics": {name: round(value, 6)
+                    for name, value in metrics.items()},
+        "top_frames": [],
+    }
+
+    parent = os.path.dirname(args.timeline)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    line = json.dumps(row, separators=(", ", ": ")) + "\n"
+    fd = os.open(args.timeline,
+                 os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode())
+    finally:
+        os.close(fd)
+    print(f"timeline: appended {args.tool} run {row['run_id']} "
+          f"({len(metrics)} metrics) -> {args.timeline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

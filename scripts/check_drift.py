@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Cross-run drift gate over the uvolt-timeline-v1 run history.
+
+Usage:
+    scripts/check_drift.py [results/timeline.jsonl] \
+        [--min-history 5] [--z-threshold 3.5] [--min-step 0.05] \
+        [--creep-threshold 0.10] [--warn-only] [--selftest]
+
+check_regression.py compares one run against one committed baseline;
+this gate compares every metric against its OWN history, which catches
+the two failure modes a single-baseline gate is blind to:
+
+  step   The newest value is a robust-z outlier against the metric's
+         history: |x - median| / (1.4826 * MAD) > --z-threshold, AND
+         the relative change exceeds --min-step (so a tight series
+         with near-zero MAD can't flag a 0.1 % wiggle). Median/MAD
+         instead of mean/stddev so one historic outlier can't widen
+         the band and hide a real regression.
+
+  creep  Slow compounding drift, each PR inside the step band: the
+         EWMA (alpha 0.3) of the series has moved more than
+         --creep-threshold relative to the median of the first half
+         of the history.
+
+Direction matters: for latency/cost metrics (the default) only drift
+UP is a failure; metrics whose name contains "speedup", "throughput"
+or "rps" are better-is-higher and only drift DOWN fails.
+
+Series are keyed (tool, metric) over rows appended by bench_all,
+ext_fleet and ext_serve; a metric with fewer than --min-history rows
+is reported as "warming up" and not gated. Exit status: 0 clean,
+1 drift detected, 2 bad input. --warn-only reports but exits 0.
+--selftest runs the gate against four synthetic histories (flat,
+20 % step, 2 %-per-run creep, noisy-but-stable) and verifies the
+expected verdict for each.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "uvolt-timeline-v1"
+
+# Metrics where larger is better; everything else is cost-like.
+GOOD_UP_TOKENS = ("speedup", "throughput", "rps")
+
+
+def is_good_up(metric):
+    lowered = metric.lower()
+    return any(token in lowered for token in GOOD_UP_TOKENS)
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def mad(values, center):
+    return median([abs(v - center) for v in values])
+
+
+def quantile(values, q):
+    ordered = sorted(values)
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (position - low) * (ordered[high] -
+                                              ordered[low])
+
+
+def robust_spread(values, center):
+    """Scaled-to-sigma spread; the IQR floor keeps a bimodal history
+    (e.g. a series alternating between two machine states, MAD = 0)
+    from turning every new sample into an infinite-z outlier."""
+    return max(1.4826 * mad(values, center),
+               0.7413 * (quantile(values, 0.75) -
+                         quantile(values, 0.25)))
+
+
+def ewma(values, alpha=0.3):
+    smoothed = values[0]
+    for value in values[1:]:
+        smoothed = alpha * value + (1.0 - alpha) * smoothed
+    return smoothed
+
+
+def analyze_series(values, good_up, z_threshold, min_step,
+                   creep_threshold):
+    """Findings for one metric's chronological history."""
+    findings = []
+    history, latest = values[:-1], values[-1]
+
+    # -- step: newest value vs robust statistics of its past ----------
+    center = median(history)
+    spread = robust_spread(history, center)
+    if center != 0.0:
+        relative = (latest - center) / abs(center)
+        worse = relative < 0 if good_up else relative > 0
+        if worse and abs(relative) > min_step:
+            z = abs(latest - center) / spread if spread > 0 else float(
+                "inf")
+            if z > z_threshold:
+                findings.append(
+                    ("step", f"latest {latest:g} vs median {center:g} "
+                             f"({relative:+.1%}, robust z "
+                             f"{min(z, 999.0):.1f})"))
+
+    # -- creep: smoothed present vs the oldest half -------------------
+    baseline = median(values[:max(2, len(values) // 2)])
+    smoothed = ewma(values)
+    if baseline != 0.0:
+        drift = (smoothed - baseline) / abs(baseline)
+        worse = drift < 0 if good_up else drift > 0
+        if worse and abs(drift) > creep_threshold:
+            findings.append(
+                ("creep", f"EWMA {smoothed:g} vs early median "
+                          f"{baseline:g} ({drift:+.1%})"))
+    return findings
+
+
+def load_series(path):
+    """{(tool, metric): [values, oldest first]} from a timeline file."""
+    series = {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as err:
+        sys.exit(f"error: cannot read '{path}': {err}")
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as err:
+            sys.exit(f"error: {path}:{number}: {err}")
+        if row.get("schema") != SCHEMA:
+            sys.exit(f"error: {path}:{number}: not a {SCHEMA} row")
+        tool = row.get("tool", "?")
+        for metric, value in row.get("metrics", {}).items():
+            if isinstance(value, (int, float)):
+                series.setdefault((tool, metric), []).append(
+                    float(value))
+    return series
+
+
+def run_gate(series, args):
+    """Print the report; return the number of drifting series."""
+    drifting = 0
+    warming = 0
+    for (tool, metric), values in sorted(series.items()):
+        if len(values) < args.min_history:
+            warming += 1
+            print(f"  {tool}/{metric}: {len(values)} run(s), warming "
+                  f"up (gate starts at {args.min_history})")
+            continue
+        findings = analyze_series(values, is_good_up(metric),
+                                  args.z_threshold, args.min_step,
+                                  args.creep_threshold)
+        if not findings:
+            print(f"  {tool}/{metric}: {len(values)} runs, stable "
+                  f"(median {median(values):g})")
+            continue
+        drifting += 1
+        for kind, detail in findings:
+            print(f"DRIFT [{kind}] {tool}/{metric}: {detail}",
+                  file=sys.stderr)
+    print(f"{len(series)} series: {len(series) - drifting - warming} "
+          f"stable, {warming} warming up, {drifting} drifting")
+    return drifting
+
+
+def selftest(args):
+    """The gate against synthetic histories with known verdicts."""
+    flat = [100.0 + (0.5 if i % 2 else -0.5) for i in range(10)]
+    step = [100.0 + (0.5 if i % 2 else -0.5) for i in range(9)]
+    step.append(120.0)  # the injected 20 % slowdown
+    creep = [100.0 + 3.0 * i for i in range(10)]  # 3 %/run compounding
+    noisy = [100.0 + (-8.0 if i % 2 else 8.0) for i in range(10)]
+    speedup_drop = [4.0 + (0.02 if i % 2 else -0.02) for i in range(9)]
+    speedup_drop.append(3.0)  # a speedup collapsing is DOWN-bad
+
+    cases = [
+        ("flat", "wall_ms", flat, 0),
+        ("step", "wall_ms", step, 1),
+        ("creep", "wall_ms", creep, 1),
+        ("noisy-stable", "wall_ms", noisy, 0),
+        ("speedup-drop", "speedup", speedup_drop, 1),
+    ]
+    failures = 0
+    for name, metric, values, expected in cases:
+        findings = analyze_series(values, is_good_up(metric),
+                                  args.z_threshold, args.min_step,
+                                  args.creep_threshold)
+        got = 1 if findings else 0
+        verdict = "ok" if got == expected else "SELFTEST FAILURE"
+        detail = "; ".join(f"{k}: {d}" for k, d in findings) or "stable"
+        print(f"  {name:>14}: expect {'drift' if expected else 'clean'},"
+              f" got {'drift' if got else 'clean'} ({detail}) {verdict}")
+        failures += got != expected
+    if failures:
+        print(f"selftest: {failures} case(s) FAILED", file=sys.stderr)
+        return 1
+    print("selftest: all cases behave")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("timeline", nargs="?",
+                        default="results/timeline.jsonl",
+                        help="uvolt-timeline-v1 JSONL history")
+    parser.add_argument("--min-history", type=int, default=5,
+                        help="runs required before a metric is gated")
+    parser.add_argument("--z-threshold", type=float, default=3.5,
+                        help="robust-z cut for a step change")
+    parser.add_argument("--min-step", type=float, default=0.05,
+                        help="minimum relative change for a step flag")
+    parser.add_argument("--creep-threshold", type=float, default=0.10,
+                        help="relative EWMA drift that flags creep")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report drift but exit 0")
+    parser.add_argument("--selftest", action="store_true",
+                        help="verify the detector on synthetic "
+                             "histories and exit")
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest(args)
+
+    print(f"# drift gate: {args.timeline} (robust-z steps, EWMA creep)")
+    series = load_series(args.timeline)
+    if not series:
+        print("empty timeline: nothing to gate (append runs with "
+              "bench_all / ext_fleet / ext_serve)")
+        return 0
+    drifting = run_gate(series, args)
+    if drifting and args.warn_only:
+        print("warn-only mode: not failing the build", file=sys.stderr)
+        return 0
+    return 1 if drifting else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

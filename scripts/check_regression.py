@@ -3,7 +3,8 @@
 
 Usage:
     scripts/check_regression.py baseline.json candidate.json \
-        [--tolerance 0.5] [--override NAME=RATIO ...] [--warn-only]
+        [--tolerance 0.5] [--override NAME=RATIO ...] [--warn-only] \
+        [--json PATH]
 
 Compares the min-ns-per-iteration wall time (the scheduler-noise floor,
 the most stable statistic the bench framework reports) of every
@@ -18,6 +19,11 @@ DEFAULT_OVERRIDES table below ships repo-default widenings, e.g. for
 the serving daemon's tail-latency rows; the CLI wins). Benchmarks
 present in only one document are listed as added/removed and do not
 fail the gate. Exit status: 0 all pass, 1 regression(s), 2 bad input.
+
+--json PATH additionally writes a machine-readable verdict document
+(schema "uvolt-gate-v1": per-benchmark baseline/candidate/ratio/
+tolerance/verdict rows plus the overall verdict) that
+scripts/append_timeline.py ingests when stamping the perf timeline.
 
 Also accepts a pair of uvolt-run-manifest-v1 documents (ledger
 manifests): then the gate compares run duration_ms with the same
@@ -111,6 +117,9 @@ def main():
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit 0 "
                              "(sanitizer builds)")
+    parser.add_argument("--json", metavar="PATH", default="",
+                        help="also write a machine-readable "
+                             "uvolt-gate-v1 verdict document")
     args = parser.parse_args()
 
     overrides = dict(DEFAULT_OVERRIDES)
@@ -137,6 +146,7 @@ def main():
              "tolerance", "verdict")]
     failures = []
     skipped = []
+    gate_rows = []
     for name in shared:
         tolerance = overrides.get(name, args.tolerance)
         base, cand = old[name], new[name]
@@ -148,11 +158,19 @@ def main():
             rows.append((name, fmt_ns(base), fmt_ns(cand), "n/a",
                          f"{tolerance:.2f}", "SKIP (zero baseline)"))
             skipped.append(name)
+            gate_rows.append({"name": name, "baseline_ns": base,
+                              "candidate_ns": cand, "ratio": None,
+                              "tolerance": tolerance,
+                              "verdict": "skip"})
             continue
         ratio = cand / base
         ok = ratio <= 1.0 + tolerance
         rows.append((name, fmt_ns(base), fmt_ns(cand), f"{ratio:.3f}",
                      f"{tolerance:.2f}", "ok" if ok else "REGRESSION"))
+        gate_rows.append({"name": name, "baseline_ns": base,
+                          "candidate_ns": cand, "ratio": ratio,
+                          "tolerance": tolerance,
+                          "verdict": "ok" if ok else "regression"})
         if not ok:
             failures.append((name, ratio))
 
@@ -167,6 +185,22 @@ def main():
         print(f"warning: '{name}' has a zero baseline and was NOT "
               f"gated; re-measure the baseline to restore coverage",
               file=sys.stderr)
+
+    if args.json:
+        verdict = {
+            "schema": "uvolt-gate-v1",
+            "baseline": args.baseline,
+            "candidate": args.candidate,
+            "metric": "min wall ns/iter",
+            "rows": gate_rows,
+            "added": added,
+            "removed": removed,
+            "verdict": "regression" if failures else "ok",
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(verdict, handle, indent=2)
+            handle.write("\n")
+        print(f"gate verdict -> {args.json}")
 
     if failures:
         for name, ratio in failures:

@@ -302,11 +302,142 @@ writePrometheus(const telemetry::MetricsSnapshot &snapshot,
     return true;
 }
 
+namespace
+{
+
+/** JS string literal body: JSON escapes plus "<" as < so folded
+ *  data can never form a "</script>" and truncate the document. */
+std::string
+scriptEscaped(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '<') {
+            out += "\\u003c";
+        } else {
+            out += json::escaped(std::string_view(&c, 1));
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+flameGraphHtml(const profiler::Profile &profile,
+               const std::string &title)
+{
+    std::ostringstream out;
+    out << "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n"
+        << "<title>uvolt flame graph</title>\n"
+        << "<style>\n"
+        << "body{font:13px monospace;margin:16px;background:#fdfdfd}\n"
+        << "#title{font-weight:bold;margin-bottom:2px}\n"
+        << "#meta{color:#666;margin-bottom:10px}\n"
+        << "#graph{position:relative}\n"
+        << ".frame{position:absolute;height:20px;overflow:hidden;"
+        << "white-space:nowrap;box-sizing:border-box;border:1px solid "
+        << "#fdfdfd;border-radius:2px;padding:2px 3px;cursor:pointer;"
+        << "color:#222}\n"
+        << ".frame:hover{filter:brightness(0.85)}\n"
+        << "#reset{color:#33c;cursor:pointer;margin-bottom:8px;"
+        << "display:inline-block}\n"
+        << "</style>\n</head>\n<body>\n"
+        << "<div id=\"title\">" << json::escaped(title) << "</div>\n"
+        << "<div id=\"meta\">" << profile.samples << " samples, "
+        << profile.folded.size() << " distinct stacks, interval "
+        << profile.intervalUs << "us"
+        << (profile.flowSamples
+                ? strFormat(", {} in request flows", profile.flowSamples)
+                : std::string())
+        << "</div>\n"
+        << "<span id=\"reset\" onclick=\"render(root)\">reset "
+        << "zoom</span>\n<div id=\"graph\"></div>\n<script>\n"
+        << "const folded = \"" << scriptEscaped(profile.foldedText())
+        << "\";\n";
+    out << R"JS(
+// Build the call tree from the collapsed-stack lines.
+const root = {name: "all", value: 0, children: new Map()};
+for (const line of folded.split("\n")) {
+  const cut = line.lastIndexOf(" ");
+  if (cut <= 0) continue;
+  const count = Number(line.slice(cut + 1));
+  if (!Number.isFinite(count)) continue;
+  root.value += count;
+  let node = root;
+  for (const frame of line.slice(0, cut).split(";")) {
+    if (!node.children.has(frame))
+      node.children.set(frame, {name: frame, value: 0,
+                                children: new Map()});
+    node = node.children.get(frame);
+    node.value += count;
+  }
+}
+
+// Deterministic warm palette keyed on the frame name.
+function color(name) {
+  let hash = 2166136261;
+  for (const c of name) hash = (hash ^ c.charCodeAt(0)) * 16777619 >>> 0;
+  return `hsl(${20 + hash % 40}, ${70 + (hash >> 8) % 25}%, ` +
+         `${62 + (hash >> 16) % 18}%)`;
+}
+
+// Icicle layout: absolutely positioned boxes, width proportional to
+// sample count, children packed left-to-right under their parent (the
+// remainder past the last child is the parent's self time). Click a
+// frame to zoom its subtree, "reset zoom" to go back.
+function render(focus) {
+  const graph = document.getElementById("graph");
+  graph.innerHTML = "";
+  let maxDepth = 0;
+  const place = (node, x, width, depth) => {
+    maxDepth = Math.max(maxDepth, depth);
+    const div = document.createElement("div");
+    div.className = "frame";
+    div.style.left = (x * 100) + "%";
+    div.style.width = (width * 100) + "%";
+    div.style.top = (depth * 21) + "px";
+    div.style.background = node === focus ? "#ddd" : color(node.name);
+    const pct = (100 * node.value / focus.value).toFixed(1);
+    div.textContent = node.name;
+    div.title = `${node.name} — ${node.value} samples (${pct}% of ` +
+                `view)`;
+    div.onclick = () => render(node);
+    graph.appendChild(div);
+    let childX = x;
+    const kids = [...node.children.values()]
+        .sort((a, b) => a.name < b.name ? -1 : 1);
+    for (const child of kids) {
+      const childWidth = width * child.value / node.value;
+      place(child, childX, childWidth, depth + 1);
+      childX += childWidth;
+    }
+  };
+  place(focus, 0, 1, 0);
+  graph.style.height = ((maxDepth + 1) * 21) + "px";
+}
+render(root);
+)JS";
+    out << "</script>\n</body>\n</html>\n";
+    return out.str();
+}
+
+bool
+writeFlameGraph(const profiler::Profile &profile,
+                const std::string &title, const std::string &path)
+{
+    return writeDocument(flameGraphHtml(profile, title), path);
+}
+
 MetricsPulse::MetricsPulse(std::string path,
                            std::chrono::milliseconds period)
     : path_(std::move(path)), period_(period)
 {
     thread_ = std::thread([this] {
+        // Name the exposition thread so traces and profiles label it
+        // instead of showing an anonymous tid.
+        telemetry::setCurrentThreadName("metrics-pulse");
         std::unique_lock lock(mutex_);
         while (!stopping_) {
             lock.unlock();

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/profiler.hh"
 #include "util/table.hh"
 #include "util/telemetry.hh"
 
@@ -85,6 +86,20 @@ std::string prometheusText(const telemetry::MetricsSnapshot &snapshot);
  *  so a concurrent scrape never reads a torn file. */
 bool writePrometheus(const telemetry::MetricsSnapshot &snapshot,
                      const std::string &path);
+
+/**
+ * Render a sampled profile as a self-contained HTML flame graph: the
+ * folded stacks are embedded in the document and laid out by a small
+ * inline script (nested proportional boxes, click to zoom, hover for
+ * counts) — no external viewer, library, or network access needed.
+ * @a title labels the page ("ext_fleet, 4132 samples @ 997us").
+ */
+std::string flameGraphHtml(const profiler::Profile &profile,
+                           const std::string &title);
+
+/** Write flameGraphHtml() to @a path (parent directories created). */
+bool writeFlameGraph(const profiler::Profile &profile,
+                     const std::string &title, const std::string &path);
 
 /**
  * Periodic live exposition: a background thread that rewrites @a path

@@ -1,0 +1,149 @@
+#include "harness/timeline.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/format.hh"
+#include "util/fsio.hh"
+#include "util/json.hh"
+
+namespace uvolt::harness
+{
+
+std::string
+TimelineRow::toJsonLine() const
+{
+    std::ostringstream out;
+    out << "{\"schema\": \"" << schema << "\"";
+    out << ", \"tool\": \"" << json::escaped(tool) << "\"";
+    out << ", \"run_id\": \"" << json::escaped(runId) << "\"";
+    out << ", \"git_sha\": \"" << json::escaped(gitSha) << "\"";
+    out << ", \"started_at\": \"" << json::escaped(startedAtIso)
+        << "\"";
+    out << ", \"config_digest\": \"" << json::escaped(configDigest)
+        << "\"";
+    out << ", \"workers\": " << workers;
+    out << ", \"duration_ms\": " << strFormat("{:.3f}", durationMs);
+    out << ", \"metrics\": {";
+    bool first = true;
+    for (const auto &[name, value] : metrics) {
+        out << (first ? "" : ", ") << "\"" << json::escaped(name)
+            << "\": " << strFormat("{:.6f}", value);
+        first = false;
+    }
+    out << "}, \"top_frames\": [";
+    first = true;
+    for (const auto &[name, self] : topFrames) {
+        out << (first ? "" : ", ") << "{\"frame\": \""
+            << json::escaped(name) << "\", \"self\": " << self << "}";
+        first = false;
+    }
+    out << "]}";
+    return out.str();
+}
+
+Expected<TimelineRow>
+TimelineRow::fromJson(std::string_view text)
+{
+    auto parsed = json::Value::parse(text);
+    if (!parsed.ok())
+        return parsed.error();
+    const json::Value &root = parsed.value();
+    if (!root.isObject() || root.stringOr("schema", "") != schema) {
+        return makeError(Errc::corruptCache,
+                         "not a {} row (schema = '{}')", schema,
+                         root.isObject() ? root.stringOr("schema", "?")
+                                         : "<non-object>");
+    }
+
+    TimelineRow row;
+    row.tool = root.stringOr("tool", "");
+    row.runId = root.stringOr("run_id", "");
+    row.gitSha = root.stringOr("git_sha", "");
+    row.startedAtIso = root.stringOr("started_at", "");
+    row.configDigest = root.stringOr("config_digest", "");
+    row.workers =
+        static_cast<std::uint64_t>(root.numberOr("workers", 0));
+    row.durationMs = root.numberOr("duration_ms", 0.0);
+
+    if (const json::Value *metrics = root.find("metrics");
+        metrics && metrics->isObject()) {
+        for (const auto &[name, value] : metrics->members()) {
+            if (value.isNumber())
+                row.metrics.emplace_back(name, value.number());
+        }
+    }
+    if (const json::Value *frames = root.find("top_frames");
+        frames && frames->isArray()) {
+        for (const json::Value &frame : frames->items()) {
+            if (!frame.isObject())
+                continue;
+            row.topFrames.emplace_back(
+                frame.stringOr("frame", ""),
+                static_cast<std::uint64_t>(frame.numberOr("self", 0)));
+        }
+    }
+    return row;
+}
+
+std::string
+nowIso8601()
+{
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char buffer[32];
+    std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &utc);
+    return buffer;
+}
+
+std::string
+Timeline::defaultPath()
+{
+    if (const char *path = std::getenv("UVOLT_TIMELINE"))
+        return path;
+    return "results/timeline.jsonl";
+}
+
+Timeline::Timeline(std::string path) : path_(std::move(path)) {}
+
+Expected<void>
+Timeline::append(const TimelineRow &row) const
+{
+    return appendFileRecord(path_, row.toJsonLine());
+}
+
+Expected<std::vector<TimelineRow>>
+Timeline::load() const
+{
+    std::vector<TimelineRow> rows;
+    if (!std::filesystem::exists(path_))
+        return rows; // no history yet is a valid (empty) timeline
+
+    std::ifstream in(path_);
+    if (!in) {
+        return makeError(Errc::cacheMiss,
+                         "cannot open timeline '{}' for reading", path_);
+    }
+    std::string line;
+    std::size_t number = 0;
+    while (std::getline(in, line)) {
+        ++number;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        auto row = TimelineRow::fromJson(line);
+        if (!row.ok()) {
+            return makeError(row.error().code, "{}:{}: {}", path_,
+                             number, row.error().message);
+        }
+        rows.push_back(std::move(row.value()));
+    }
+    return rows;
+}
+
+} // namespace uvolt::harness

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Perf timeline: one appended row per run, drift-checkable history.
+ *
+ * check_regression.py compares a run against a single committed
+ * baseline with per-row tolerance — which is blind to the failure mode
+ * that actually eats performance over months: a 2% regression per PR,
+ * each inside tolerance, compounding. The cure is the one every serving
+ * fleet uses: keep the whole history. Each bench/fleet/serve run
+ * appends one schema-versioned "uvolt-timeline-v1" JSON line (git SHA,
+ * config digest, per-metric values, profile top-frames) to
+ * results/timeline.jsonl, and scripts/check_drift.py gates every metric
+ * against its *own* history with robust-z (step changes) and EWMA
+ * (monotonic creep) tests.
+ *
+ * Appends go through util/fsio's appendFileRecord — a single O_APPEND
+ * write per row — so parallel runs stamping the same timeline (a CI
+ * host running bench legs concurrently) interleave whole lines, never
+ * torn ones. Rows from different tools coexist in one file; a metric's
+ * history is keyed (tool, metric name), so ext_serve's p99 never mixes
+ * with bench_all's.
+ */
+
+#ifndef UVOLT_HARNESS_TIMELINE_HH
+#define UVOLT_HARNESS_TIMELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace uvolt::harness
+{
+
+/** One run's worth of gate-able numbers. */
+struct TimelineRow
+{
+    /** Schema tag every reader checks first. */
+    static constexpr const char *schema = "uvolt-timeline-v1";
+
+    std::string tool;         ///< "bench_all", "ext_serve", ...
+    std::string runId;        ///< unique per row (digest + stamp)
+    std::string gitSha;       ///< build provenance
+    std::string startedAtIso; ///< wall-clock UTC, ISO 8601
+    std::string configDigest; ///< FNV-1a over the canonical config
+    std::uint64_t workers = 0;
+    double durationMs = 0.0;
+
+    /** Metric name -> value (ns, ms, ratios — the name says which). */
+    std::vector<std::pair<std::string, double>> metrics;
+
+    /** Profiler top frames (name, self samples); empty when not run. */
+    std::vector<std::pair<std::string, std::uint64_t>> topFrames;
+
+    /** Serialize as one JSON line (no interior newlines). */
+    std::string toJsonLine() const;
+
+    /** Parse one timeline line (schema checked). */
+    static Expected<TimelineRow> fromJson(std::string_view text);
+};
+
+/** Wall-clock UTC "YYYY-MM-DDTHH:MM:SSZ" for row provenance. */
+std::string nowIso8601();
+
+/** The append-only run history. */
+class Timeline
+{
+  public:
+    /** $UVOLT_TIMELINE, or "results/timeline.jsonl" when unset. */
+    static std::string defaultPath();
+
+    explicit Timeline(std::string path = defaultPath());
+
+    const std::string &path() const { return path_; }
+
+    /**
+     * Append @a row as one line. Concurrent-writer safe (single
+     * O_APPEND write). I/O failure comes back as an Error so runs in
+     * read-only checkouts keep working.
+     */
+    Expected<void> append(const TimelineRow &row) const;
+
+    /**
+     * Parse every row in the file, oldest first. Blank lines are
+     * skipped; a malformed line is an error (a torn append would be a
+     * bug worth failing loudly on, not skipping). A missing file loads
+     * as an empty history.
+     */
+    Expected<std::vector<TimelineRow>> load() const;
+
+  private:
+    std::string path_;
+};
+
+} // namespace uvolt::harness
+
+#endif // UVOLT_HARNESS_TIMELINE_HH

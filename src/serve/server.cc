@@ -21,6 +21,28 @@ namespace uvolt::serve
 namespace
 {
 
+/**
+ * Latency bucket ladder reaching @a ceiling_ms. The old fixed ladder
+ * topped out at 5000 ms, which a long characterize (full sweep, high
+ * runs-per-level) blows straight past — every such request landed in
+ * the overflow bucket and HistogramSnapshot::quantile() saturated at
+ * 5000, silently under-reporting p99. The ladder now extends in rough
+ * half-decade steps to the configured ceiling (default 600 s), still
+ * inside the registry's 24-bound budget.
+ */
+std::vector<double>
+latencyBoundsMs(double ceiling_ms)
+{
+    std::vector<double> bounds{0.05, 0.1, 0.5,  1,   2,    5,    10,
+                               20,   50,  100,  200, 500,  1000, 2000,
+                               5000, 1e4, 3e4,  6e4, 12e4, 30e4};
+    while (!bounds.empty() && bounds.back() > ceiling_ms)
+        bounds.pop_back();
+    if (bounds.empty() || bounds.back() < ceiling_ms)
+        bounds.push_back(ceiling_ms);
+    return bounds;
+}
+
 struct ServeMetrics
 {
     telemetry::Counter &admitted =
@@ -47,24 +69,16 @@ struct ServeMetrics
         telemetry::Registry::global().gauge("serve.queue_depth");
     telemetry::Histogram &queueWaitMs =
         telemetry::Registry::global().histogram(
-            "serve.queue_wait_ms",
-            {0.05, 0.1, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
-             2000, 5000});
+            "serve.queue_wait_ms", latencyBoundsMs(6e5));
     telemetry::Histogram &e2eMs =
-        telemetry::Registry::global().histogram(
-            "serve.e2e_ms",
-            {0.05, 0.1, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
-             2000, 5000});
+        telemetry::Registry::global().histogram("serve.e2e_ms",
+                                                latencyBoundsMs(6e5));
     telemetry::Histogram &characterizeMs =
         telemetry::Registry::global().histogram(
-            "serve.characterize_ms",
-            {0.05, 0.1, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
-             2000, 5000});
+            "serve.characterize_ms", latencyBoundsMs(6e5));
     telemetry::Histogram &classifyMs =
         telemetry::Registry::global().histogram(
-            "serve.classify_ms",
-            {0.05, 0.1, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000,
-             2000, 5000});
+            "serve.classify_ms", latencyBoundsMs(6e5));
 };
 
 ServeMetrics &
@@ -441,6 +455,16 @@ UvoltServer::statusReport() const
              static_cast<double>(responded)) /
             config_.errorBudget;
     }
+    // Where is wall time going right now: the process-wide sampling
+    // profiler's top frames, when a binary started one (serve_demo
+    // --watch, ext_serve --profile). Reading a snapshot never perturbs
+    // request handling — the sampler only observes span stacks.
+    if (profiler::SpanProfiler::global().running()) {
+        const profiler::Profile profile =
+            profiler::SpanProfiler::global().snapshot();
+        report.profileSamples = profile.samples;
+        report.hotFrames = profile.topFrames(5);
+    }
     return report;
 }
 
@@ -471,6 +495,23 @@ StatusReport::render() const
                      classifyP50Ms, classifyP99Ms);
     out += strFormat("error budget    {:.1f}% burned\n",
                      errorBudgetBurn * 100.0);
+    if (!hotFrames.empty()) {
+        out += strFormat("hot frames      ({} samples; self% / total%)\n",
+                         profileSamples);
+        const double denom =
+            profileSamples ? static_cast<double>(profileSamples) : 1.0;
+        for (const auto &frame : hotFrames) {
+            std::string name = frame.name;
+            if (name.size() < 24)
+                name.append(24 - name.size(), ' ');
+            out += strFormat("  {} {:.1f}% / {:.1f}%  ({}/{})\n", name,
+                             100.0 * static_cast<double>(frame.self) /
+                                 denom,
+                             100.0 * static_cast<double>(frame.total) /
+                                 denom,
+                             frame.self, frame.total);
+        }
+    }
     return out;
 }
 

@@ -66,6 +66,7 @@
 #include "serve/health.hh"
 #include "serve/request_queue.hh"
 #include "util/error.hh"
+#include "util/profiler.hh"
 #include "util/telemetry.hh"
 
 namespace uvolt::serve
@@ -207,6 +208,14 @@ struct StatusReport
     /** failed/responded over the configured budget; >= 1 = budget
      *  exhausted. 0 while nothing has been responded to. */
     double errorBudgetBurn = 0.0;
+
+    /**
+     * Hottest sampled span frames (self/total sample counts) from the
+     * process-wide SpanProfiler, when one is running. Empty when no
+     * profiler is active or no samples have landed yet.
+     */
+    std::vector<profiler::FrameStat> hotFrames;
+    std::uint64_t profileSamples = 0; ///< samples behind hotFrames
 
     /** Multi-line human rendering (the --watch screen). */
     std::string render() const;

@@ -1,0 +1,214 @@
+#include "util/profiler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/fsio.hh"
+#include "util/logging.hh"
+
+namespace uvolt::profiler
+{
+
+std::string
+Profile::foldedText() const
+{
+    std::ostringstream out;
+    for (const auto &[stack, count] : folded)
+        out << stack << " " << count << "\n";
+    return out.str();
+}
+
+std::vector<FrameStat>
+Profile::topFrames(std::size_t n) const
+{
+    std::map<std::string, FrameStat> stats;
+    std::vector<std::string_view> frames;
+    for (const auto &[stack, count] : folded) {
+        frames.clear();
+        std::size_t begin = 0;
+        while (begin <= stack.size()) {
+            const std::size_t end = stack.find(';', begin);
+            const std::size_t stop =
+                end == std::string::npos ? stack.size() : end;
+            frames.emplace_back(stack.data() + begin, stop - begin);
+            if (end == std::string::npos)
+                break;
+            begin = end + 1;
+        }
+        if (frames.empty())
+            continue;
+        // Total counts each distinct frame of the stack once, so a
+        // recursive span cannot exceed the sample total.
+        std::vector<std::string_view> unique(frames);
+        std::sort(unique.begin(), unique.end());
+        unique.erase(std::unique(unique.begin(), unique.end()),
+                     unique.end());
+        for (std::string_view frame : unique) {
+            auto &stat = stats[std::string(frame)];
+            stat.name = frame;
+            stat.total += count;
+        }
+        stats[std::string(frames.back())].self += count;
+    }
+
+    std::vector<FrameStat> ranked;
+    ranked.reserve(stats.size());
+    for (auto &[name, stat] : stats)
+        ranked.push_back(std::move(stat));
+    std::sort(ranked.begin(), ranked.end(),
+              [](const FrameStat &a, const FrameStat &b) {
+                  if (a.self != b.self)
+                      return a.self > b.self;
+                  if (a.total != b.total)
+                      return a.total > b.total;
+                  return a.name < b.name;
+              });
+    if (ranked.size() > n)
+        ranked.resize(n);
+    return ranked;
+}
+
+void
+foldInto(Profile &profile,
+         const std::vector<telemetry::SpanStackSnapshot> &stacks)
+{
+    for (const auto &stack : stacks) {
+        if (stack.frames.empty())
+            continue;
+        std::string key;
+        for (std::size_t i = 0; i < stack.frames.size(); ++i) {
+            if (i)
+                key.push_back(';');
+            key += stack.frames[i];
+        }
+        ++profile.folded[key];
+        ++profile.samples;
+        if (stack.flowId != 0)
+            ++profile.flowSamples;
+        if (stack.truncated)
+            ++profile.truncated;
+    }
+}
+
+bool
+writeFolded(const Profile &profile, const std::string &path)
+{
+    const auto written = writeFileAtomic(path, profile.foldedText());
+    if (!written) {
+        warnc("profiler", "could not write folded profile '{}'", path);
+        return false;
+    }
+    return true;
+}
+
+#ifndef UVOLT_TELEMETRY_DISABLED
+
+SpanProfiler::SpanProfiler(std::uint64_t interval_us)
+    : intervalUs_(interval_us == 0 ? 997 : interval_us)
+{
+}
+
+SpanProfiler::~SpanProfiler()
+{
+    stop();
+}
+
+void
+SpanProfiler::start()
+{
+    std::lock_guard lock(mutex_);
+    if (running_)
+        return;
+    stopping_ = false;
+    running_ = true;
+    data_.intervalUs = intervalUs_;
+    thread_ = std::thread([this] { samplerLoop(); });
+}
+
+void
+SpanProfiler::stop()
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (!running_) // already stopped; keep stop() idempotent
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    std::lock_guard lock(mutex_);
+    running_ = false;
+}
+
+bool
+SpanProfiler::running() const
+{
+    std::lock_guard lock(mutex_);
+    return running_ && !stopping_;
+}
+
+Profile
+SpanProfiler::snapshot() const
+{
+    std::lock_guard lock(mutex_);
+    return data_;
+}
+
+void
+SpanProfiler::reset()
+{
+    std::lock_guard lock(mutex_);
+    data_ = Profile{};
+    data_.intervalUs = intervalUs_;
+}
+
+std::uint64_t
+SpanProfiler::intervalFromEnv()
+{
+    if (const char *value = std::getenv("UVOLT_PROFILE_HZ")) {
+        const double hz = std::atof(value);
+        if (hz > 0.0) {
+            const double us = 1e6 / hz;
+            return us < 1.0 ? 1 : static_cast<std::uint64_t>(us);
+        }
+    }
+    return 997;
+}
+
+SpanProfiler &
+SpanProfiler::global()
+{
+    // Leaked like the registry: stoppable during static destructors
+    // without ordering hazards. Binaries stop it before exporting.
+    static SpanProfiler *instance = new SpanProfiler;
+    return *instance;
+}
+
+void
+SpanProfiler::samplerLoop()
+{
+    telemetry::setCurrentThreadName("uvolt-profiler");
+    telemetry::Registry &registry = telemetry::Registry::global();
+    std::unique_lock lock(mutex_);
+    while (!stopping_) {
+        lock.unlock();
+        // The sample itself: a read-only pass over the span stacks.
+        // Skipped entirely while recording is off so an idle profiler
+        // costs one atomic load per tick.
+        std::vector<telemetry::SpanStackSnapshot> stacks;
+        if (telemetry::Telemetry::enabled())
+            stacks = registry.sampleSpanStacks();
+        lock.lock();
+        ++data_.ticks;
+        foldInto(data_, stacks);
+        cv_.wait_for(lock, std::chrono::microseconds(intervalUs_),
+                     [this] { return stopping_; });
+    }
+}
+
+#endif // UVOLT_TELEMETRY_DISABLED
+
+} // namespace uvolt::profiler

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * In-process continuous profiler over the telemetry span stacks.
+ *
+ * The campaigns this repo runs spend their wall time in a handful of
+ * hot loops — BRAM readback, fault counting, batched inference — and
+ * the serving tier multiplexes them across worker threads. Metrics say
+ * *what* happened; traces say what happened *once*. This layer answers
+ * the remaining question, *where does wall time go right now*, the way
+ * a production profiler does: a dedicated sampler thread wakes at a
+ * fixed interval (default 997 us, a prime so the cadence cannot phase-
+ * lock with any periodic workload; UVOLT_PROFILE_HZ overrides), reads
+ * every registered thread's active trace-span stack through
+ * telemetry::Registry::sampleSpanStacks(), and accumulates folded-stack
+ * counts ("sweep;sweep.level;accel.classify 412").
+ *
+ * Why span-stack sampling instead of signal-driven native unwinding
+ * (perf, libunwind): the span stacks already exist, carry the domain
+ * names an operator thinks in, cost two relaxed atomic stores per span
+ * to maintain, and are readable from another thread without signals,
+ * frame pointers, or a symbolizer — zero new dependencies, safe under
+ * TSan, identical behavior in every build mode. The tradeoff is
+ * granularity: only instrumented regions appear, which for this
+ * codebase is exactly the hot loops worth seeing.
+ *
+ * The sampler only ever *reads*: it draws nothing from any RNG stream,
+ * reorders no work, and touches no result buffer, so profiling on vs
+ * off leaves every result artifact byte-identical. Under
+ * -DUVOLT_TELEMETRY=OFF the whole layer compiles to stubs.
+ *
+ * Exports: Profile::foldedText() is the collapsed-stack format every
+ * flamegraph tool consumes; harness/report.hh renders a self-contained
+ * HTML flame graph; Profile::topFrames() feeds the self/total tables in
+ * UvoltServer::statusReport() and serve_demo --watch.
+ */
+
+#ifndef UVOLT_UTIL_PROFILER_HH
+#define UVOLT_UTIL_PROFILER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/telemetry.hh"
+
+namespace uvolt::profiler
+{
+
+/** Per-frame sample attribution for the top-N tables. */
+struct FrameStat
+{
+    std::string name;
+    std::uint64_t self = 0;  ///< samples with this frame on top
+    std::uint64_t total = 0; ///< samples with this frame anywhere
+};
+
+/** An immutable snapshot of accumulated samples. */
+struct Profile
+{
+    std::uint64_t intervalUs = 0; ///< sampling interval in effect
+    std::uint64_t ticks = 0;      ///< sampler wakeups taken
+    std::uint64_t samples = 0;    ///< thread-stacks folded in
+    std::uint64_t flowSamples = 0; ///< samples inside a request flow
+    std::uint64_t truncated = 0;   ///< stacks deeper than the ceiling
+
+    /** folded key ("a;b;c") -> sample count; map order = stable text. */
+    std::map<std::string, std::uint64_t> folded;
+
+    bool empty() const { return folded.empty(); }
+
+    /**
+     * Collapsed-stack text, one "frame;frame;frame count" line per
+     * distinct stack in lexicographic key order — the exact format
+     * flamegraph.pl / speedscope / inferno consume.
+     */
+    std::string foldedText() const;
+
+    /**
+     * The @a n hottest frames ordered by self samples (then total,
+     * then name). Self counts the samples where the frame was the
+     * innermost open span; total counts every sample whose stack
+     * contains it (recursion deduplicated).
+     */
+    std::vector<FrameStat> topFrames(std::size_t n) const;
+};
+
+/**
+ * Fold one round of sampled stacks into @a profile (exposed separately
+ * so tests can drive deterministic span sequences through the exact
+ * accumulation path the sampler uses).
+ */
+void foldInto(Profile &profile,
+              const std::vector<telemetry::SpanStackSnapshot> &stacks);
+
+/** Write Profile::foldedText() crash-atomically; false on I/O error. */
+bool writeFolded(const Profile &profile, const std::string &path);
+
+#ifndef UVOLT_TELEMETRY_DISABLED
+
+/**
+ * The sampler. start()/stop() are idempotent and restartable; samples
+ * accumulate across restarts until reset(). stop() joins the sampler
+ * thread, and the destructor stops, so a scoped profiler can never
+ * outlive the code it samples. The thread names itself "uvolt-profiler"
+ * in the registry so traces and profiles label it.
+ */
+class SpanProfiler
+{
+  public:
+    explicit SpanProfiler(std::uint64_t interval_us = intervalFromEnv());
+    ~SpanProfiler();
+
+    SpanProfiler(const SpanProfiler &) = delete;
+    SpanProfiler &operator=(const SpanProfiler &) = delete;
+
+    /** Launch the sampler thread; no-op when already running. */
+    void start();
+
+    /** Stop and join the sampler thread; no-op when already stopped. */
+    void stop();
+
+    bool running() const;
+
+    std::uint64_t intervalUs() const { return intervalUs_; }
+
+    /** Copy of everything accumulated so far (running or not). */
+    Profile snapshot() const;
+
+    /** Drop accumulated samples (registrations/state unaffected). */
+    void reset();
+
+    /**
+     * Default interval: 997 us, or 1e6 / $UVOLT_PROFILE_HZ when the
+     * variable holds a positive number (e.g. UVOLT_PROFILE_HZ=2000 ->
+     * 500 us).
+     */
+    static std::uint64_t intervalFromEnv();
+
+    /**
+     * Process-wide instance for binaries that profile a whole run
+     * (ext_fleet, ext_serve --profile, serve_demo --watch). Status
+     * surfaces read its snapshot without owning the sampler.
+     */
+    static SpanProfiler &global();
+
+  private:
+    void samplerLoop();
+
+    const std::uint64_t intervalUs_;
+
+    mutable std::mutex mutex_; ///< lifecycle + accumulated data
+    std::condition_variable cv_;
+    std::thread thread_;
+    bool stopping_ = false;
+    bool running_ = false;
+    Profile data_;
+};
+
+#else // UVOLT_TELEMETRY_DISABLED ---------------------------------------
+
+/** Compiled-out stub: the API keeps its shape, sampling never runs. */
+class SpanProfiler
+{
+  public:
+    explicit SpanProfiler(std::uint64_t interval_us = 0)
+        : intervalUs_(interval_us)
+    {
+    }
+
+    SpanProfiler(const SpanProfiler &) = delete;
+    SpanProfiler &operator=(const SpanProfiler &) = delete;
+
+    void start() {}
+    void stop() {}
+    bool running() const { return false; }
+    std::uint64_t intervalUs() const { return intervalUs_; }
+    Profile snapshot() const { return {}; }
+    void reset() {}
+    static std::uint64_t intervalFromEnv() { return 0; }
+
+    static SpanProfiler &
+    global()
+    {
+        static SpanProfiler instance;
+        return instance;
+    }
+
+  private:
+    std::uint64_t intervalUs_;
+};
+
+#endif // UVOLT_TELEMETRY_DISABLED
+
+} // namespace uvolt::profiler
+
+#endif // UVOLT_UTIL_PROFILER_HH

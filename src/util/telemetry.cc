@@ -86,8 +86,12 @@ namespace
 constexpr std::size_t maxCounters = 256;
 constexpr std::size_t maxGauges = 64;
 constexpr std::size_t maxHistograms = 64;
-constexpr std::size_t maxHistogramBounds = 16;
+constexpr std::size_t maxHistogramBounds = 24;
 constexpr std::size_t histogramSlots = maxHistogramBounds + 1;
+
+/** Sampled span stacks deeper than this report truncated (the sweep
+ *  nests 3-4 deep; 32 leaves an order of magnitude of headroom). */
+constexpr std::size_t spanStackDepth = 32;
 
 /** Per-thread trace buffer ceiling; drops are counted, not fatal. */
 constexpr std::size_t maxTraceEventsPerThread = 1u << 20;
@@ -140,6 +144,20 @@ struct ThreadState
     std::mutex traceMutex;
     std::vector<TraceEvent> trace;
     std::atomic<std::uint64_t> traceDropped{0};
+
+    /**
+     * Active span-name stack, readable from the profiler's sampler
+     * thread. The owning thread stores the name slot first, then
+     * release-stores the new depth; a sampler acquire-loading the depth
+     * therefore sees valid static-string pointers in [0, depth). Slots
+     * are atomics so a sample racing a push/pop reads a momentarily
+     * stale pointer, never a torn one.
+     */
+    std::array<std::atomic<const char *>, spanStackDepth> spanNames{};
+    std::atomic<std::uint32_t> spanDepth{0};
+
+    /** Flow id of the installed TraceContext (sampler attribution). */
+    std::atomic<std::uint64_t> activeFlow{0};
 };
 
 } // namespace
@@ -172,32 +190,6 @@ namespace detail
 {
 
 std::atomic<bool> enabledFlag{envEnabled()};
-
-SpanLink
-openSpanLink()
-{
-    SpanLink link;
-    link.spanId = mintLinkId();
-    link.flowId = tlsContext.flowId;
-    if (tlsSpanStack.empty()) {
-        // Outermost span of this thread segment: parent under the
-        // installed cross-thread context and mark the flow hop.
-        link.parentId = tlsContext.spanId;
-        link.flowPoint = link.flowId ? FlowPoint::step : FlowPoint::none;
-    } else {
-        link.parentId = tlsSpanStack.back();
-        link.flowPoint = FlowPoint::none;
-    }
-    tlsSpanStack.push_back(link.spanId);
-    return link;
-}
-
-void
-closeSpanLink()
-{
-    if (!tlsSpanStack.empty())
-        tlsSpanStack.pop_back();
-}
 
 } // namespace detail
 
@@ -245,6 +237,51 @@ Registry::global()
     static Registry registry;
     return registry;
 }
+
+namespace detail
+{
+
+SpanLink
+openSpanLink(const char *name)
+{
+    SpanLink link;
+    link.spanId = mintLinkId();
+    link.flowId = tlsContext.flowId;
+    if (tlsSpanStack.empty()) {
+        // Outermost span of this thread segment: parent under the
+        // installed cross-thread context and mark the flow hop.
+        link.parentId = tlsContext.spanId;
+        link.flowPoint = link.flowId ? FlowPoint::step : FlowPoint::none;
+    } else {
+        link.parentId = tlsSpanStack.back();
+        link.flowPoint = FlowPoint::none;
+    }
+    tlsSpanStack.push_back(link.spanId);
+    // Publish the name to the sampler-readable stack: slot first, then
+    // a release-store of the grown depth (the sampler acquire-loads
+    // depth, so frames below it are always valid pointers).
+    ThreadState &state = Registry::global().impl_->threadState();
+    const std::uint32_t depth =
+        state.spanDepth.load(std::memory_order_relaxed);
+    if (depth < spanStackDepth)
+        state.spanNames[depth].store(name, std::memory_order_relaxed);
+    state.spanDepth.store(depth + 1, std::memory_order_release);
+    return link;
+}
+
+void
+closeSpanLink()
+{
+    if (!tlsSpanStack.empty())
+        tlsSpanStack.pop_back();
+    ThreadState &state = Registry::global().impl_->threadState();
+    const std::uint32_t depth =
+        state.spanDepth.load(std::memory_order_relaxed);
+    if (depth > 0)
+        state.spanDepth.store(depth - 1, std::memory_order_release);
+}
+
+} // namespace detail
 
 Counter &
 Registry::counter(std::string_view name)
@@ -374,6 +411,36 @@ Registry::traceEvents() const
     return events;
 }
 
+std::vector<SpanStackSnapshot>
+Registry::sampleSpanStacks() const
+{
+    std::vector<SpanStackSnapshot> stacks;
+    std::lock_guard lock(impl_->mutex);
+    for (const auto &state : impl_->states) {
+        const std::uint32_t depth =
+            state->spanDepth.load(std::memory_order_acquire);
+        if (depth == 0)
+            continue;
+        SpanStackSnapshot sample;
+        sample.tid = state->tid;
+        sample.flowId =
+            state->activeFlow.load(std::memory_order_relaxed);
+        sample.truncated = depth > spanStackDepth;
+        const std::uint32_t frames = std::min(
+            depth, static_cast<std::uint32_t>(spanStackDepth));
+        sample.frames.reserve(frames);
+        for (std::uint32_t i = 0; i < frames; ++i) {
+            const char *frame =
+                state->spanNames[i].load(std::memory_order_relaxed);
+            if (frame) // racing a push: slot not yet published
+                sample.frames.push_back(frame);
+        }
+        if (!sample.frames.empty())
+            stacks.push_back(std::move(sample));
+    }
+    return stacks;
+}
+
 void
 Registry::setThreadName(std::string name)
 {
@@ -469,6 +536,10 @@ Registry::setCurrentContext(const TraceContext &ctx)
 {
     const TraceContext previous = tlsContext;
     tlsContext = ctx;
+    // Mirror the flow id into the sampler-readable shard so profile
+    // samples taken on this thread attribute to the active request.
+    global().impl_->threadState().activeFlow.store(
+        ctx.flowId, std::memory_order_relaxed);
     return previous;
 }
 

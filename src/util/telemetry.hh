@@ -95,6 +95,22 @@ struct TraceEvent
     TraceArgs args;
 };
 
+/**
+ * One thread's active trace-span stack at a sampling instant. Produced
+ * by Registry::sampleSpanStacks() for the profiler: frames are the
+ * static span-name strings of the thread's open TraceScopes, outermost
+ * first, plus the flow id of the installed TraceContext so samples can
+ * be attributed to in-flight requests. Defined outside the compile-out
+ * guard so profiler data types build under -DUVOLT_TELEMETRY=OFF.
+ */
+struct SpanStackSnapshot
+{
+    std::uint32_t tid = 0;
+    std::uint64_t flowId = 0;         ///< active request flow; 0 = none
+    std::vector<const char *> frames; ///< static strings, outermost first
+    bool truncated = false; ///< stack deeper than the sampling ceiling
+};
+
 /** Merged view of one histogram at snapshot time. */
 struct HistogramSnapshot
 {
@@ -163,9 +179,11 @@ struct SpanLink
  * Open/close the calling thread's span stack. A span parents under the
  * innermost open span; the outermost span of a thread segment parents
  * under the installed TraceContext and becomes a flow step, which is
- * how a request's track reconnects after crossing a queue.
+ * how a request's track reconnects after crossing a queue. The static
+ * span name is also pushed onto the thread's lock-free name stack so
+ * the sampling profiler can read the active stack from its own thread.
  */
-SpanLink openSpanLink();
+SpanLink openSpanLink(const char *name);
 void closeSpanLink();
 
 } // namespace detail
@@ -253,8 +271,11 @@ class Registry
 
     /**
      * Register (or look up) a histogram with the given ascending upper
-     * bucket bounds (at most 16; one overflow bucket is implicit).
-     * Re-registering an existing name ignores @a bounds.
+     * bucket bounds (at most 24; one overflow bucket is implicit).
+     * Bounds are fully caller-chosen at registration — latency ladders
+     * must reach past their workload's tail or quantile() saturates at
+     * the last finite bound. Re-registering an existing name ignores
+     * @a bounds: the first registration wins.
      */
     Histogram &histogram(std::string_view name,
                          const std::vector<double> &bounds);
@@ -264,6 +285,17 @@ class Registry
 
     /** Every recorded span, merged across threads, start-time order. */
     std::vector<TraceEvent> traceEvents() const;
+
+    /**
+     * Read every registered thread's active span-name stack without
+     * stopping the writers (the profiler's sampler calls this ~1000x a
+     * second). Each thread's frames are its open TraceScope names,
+     * outermost first; threads with no open span are omitted. The read
+     * is intentionally approximate at the instant a span opens or
+     * closes — frame pointers are atomics over static strings, so a
+     * racing sample sees a momentarily stale stack, never a torn one.
+     */
+    std::vector<SpanStackSnapshot> sampleSpanStacks() const;
 
     /**
      * Name the calling thread for trace exports ("fleet-worker-3"
@@ -327,6 +359,8 @@ class Registry
     friend class Counter;
     friend class Gauge;
     friend class Histogram;
+    friend detail::SpanLink detail::openSpanLink(const char *name);
+    friend void detail::closeSpanLink();
 
     Registry();
     struct Impl;
@@ -345,7 +379,7 @@ class TraceScope
     {
         active_ = Telemetry::enabled();
         if (active_) {
-            link_ = detail::openSpanLink();
+            link_ = detail::openSpanLink(name_);
             startNs_ = Registry::global().nowNs();
         }
     }
@@ -356,7 +390,7 @@ class TraceScope
         active_ = Telemetry::enabled();
         if (active_) {
             args_ = make_args();
-            link_ = detail::openSpanLink();
+            link_ = detail::openSpanLink(name_);
             startNs_ = Registry::global().nowNs();
         }
     }
@@ -467,6 +501,10 @@ class Registry
     }
     MetricsSnapshot metrics() const { return {}; }
     std::vector<TraceEvent> traceEvents() const { return {}; }
+    std::vector<SpanStackSnapshot> sampleSpanStacks() const
+    {
+        return {};
+    }
     void setThreadName(std::string) {}
     std::vector<std::pair<std::uint32_t, std::string>>
     threadNames() const
