@@ -30,6 +30,8 @@
 #include "harness/fvm.hh"
 #include "harness/ledger.hh"
 #include "harness/timeline.hh"
+#include "mem/catalog.hh"
+#include "mem/sweep.hh"
 #include "nn/network.hh"
 #include "nn/quantizer.hh"
 #include "pmbus/board.hh"
@@ -166,6 +168,51 @@ runFanout(bench::State &state, std::size_t workers)
 UVOLT_BENCHMARK(BM_FleetFanout0Workers) { runFanout(state, 0); }
 UVOLT_BENCHMARK(BM_FleetFanout1Worker) { runFanout(state, 1); }
 UVOLT_BENCHMARK(BM_FleetFanout8Workers) { runFanout(state, 8); }
+
+/**
+ * The non-BRAM backends' sweep arithmetic: one iteration counts every
+ * fault on the device at Vcrash with fresh jitter each pass (the memo
+ * never hits), streaming the generalized mask ladders. HBM's ladders
+ * hold whole-lane masks, SRAM's single bits — the two granularities
+ * bracket the MaskLadder popcount path.
+ */
+void
+runMemFaultCount(bench::State &state, const char *name)
+{
+    const auto device = mem::makeDevice(name);
+    device->fill(0xFFFF);
+    const double v_crash = device->traits().vcrashMv / 1000.0;
+    double wiggle = 0.0;
+    for (auto _ : state) {
+        std::uint64_t total = 0;
+        const double v = v_crash + wiggle;
+        for (std::uint32_t d = 0; d < device->domainCount(); ++d)
+            total += static_cast<std::uint64_t>(
+                device->countDomainFaults(d, v));
+        bench::doNotOptimize(total);
+        wiggle = wiggle < 1e-5 ? wiggle + 1e-7 : 0.0;
+    }
+    state.setItemsPerIteration(device->domainCount());
+}
+
+UVOLT_BENCHMARK(BM_HbmFaultCount) { runMemFaultCount(state, "HBM2-A"); }
+UVOLT_BENCHMARK(BM_SramFaultCount)
+{
+    runMemFaultCount(state, "MORS-SRAM-A");
+}
+
+/** A full backend-generic sweep of one HBM stack, Vmin to Vcrash. */
+UVOLT_BENCHMARK(BM_MemSweepHbm)
+{
+    const auto device = mem::makeDevice("HBM2-A");
+    device->fill(0xFFFF);
+    mem::MemSweepOptions options;
+    options.runsPerLevel = 3;
+    options.seed = 11;
+    for (auto _ : state)
+        bench::doNotOptimize(
+            mem::runMemSweep(*device, options).points.size());
+}
 
 UVOLT_BENCHMARK(BM_FvmCacheHit)
 {

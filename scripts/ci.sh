@@ -139,14 +139,31 @@ python3 scripts/append_timeline.py build/BENCH_uvolt.json \
     --gate build/gate.json --timeline "$prof_dir/history.jsonl"
 python3 scripts/check_drift.py "$prof_dir/history.jsonl" --warn-only
 
-echo "== golden figures drift check =="
-# Only when the figure CSVs have been regenerated (the figure benches
-# are not part of tier 1); run the fig*/tab* binaries to refresh them.
-if [ -e results/fig01_VCCBRAM.csv ]; then
-    python3 scripts/check_figures.py
-else
-    echo "results/fig*.csv absent; skipping (run the figure benches)"
-fi
+echo "== memory-backend fleet gate (ext_membackends) =="
+# Drives one mixed BRAM+HBM+SRAM fleet through the FleetEngine serially
+# and at 1 and 8 workers — the binary exits non-zero if any pair of
+# runs diverges — then pins the per-technology envelope table (Vmin,
+# Vcrash, guardband, faults/Mbit, power saving) to its committed golden.
+./build/bench/ext_membackends > /dev/null
+cmp results/ext_membackends.csv goldens/ext_membackends.csv
+echo "mixed-technology fleet bit-identical; envelope CSV matches golden"
+
+echo "== golden figures byte-identity (all 22 fig/tab CSVs) =="
+# Regenerate every paper figure/table CSV from scratch and require each
+# to be byte-identical to its committed golden. The figure benches are
+# deterministic (seeded RNG, shared model cache), so any diff is a real
+# behaviour change — this is the executable proof that the BRAM path
+# survives refactors bit-for-bit.
+export UVOLT_CACHE_DIR="$PWD/uvolt_model_cache"
+for fig in fig01_guardband tab1_platforms fig03_voltage_sweep \
+        fig04_patterns tab2_stability fig05_clustering fig06_fvm_vc707 \
+        fig07_fvm_die2die fig08_temperature fig09_precision tab3_nn_spec \
+        fig10_power_breakdown fig11_nn_error fig13_layer_vuln \
+        fig14_icbp; do
+    ./build/bench/"$fig" > /dev/null
+done
+unset UVOLT_CACHE_DIR
+python3 scripts/check_figures.py
 
 echo "== batched-evaluation identity check (fig11) =="
 # The batched engine's contract is bit-identity at any batch width and
@@ -184,16 +201,18 @@ python3 scripts/check_regression.py --warn-only \
 
 echo "== bit-twiddling under UBSan (UVOLT_SANITIZE=undefined) =="
 # The packed fault-domain layout lives on shifts, masks, and narrowing
-# casts (bram.cc, fault_domain.hh, chip_fault_model.cc, the analyzer's
-# ctz walk). A UBSan-only build is fast enough to run the three suites
-# that exercise every one of those paths on each CI pass — ASan's
-# memory instrumentation isn't needed here and would double the leg.
+# casts (bram.cc, fault_domain.hh, chip_fault_model.cc, the mask
+# ladders of the mem:: backends, the analyzer's ctz walk). A UBSan-only
+# build is fast enough to run the four suites that exercise every one
+# of those paths on each CI pass — ASan's memory instrumentation isn't
+# needed here and would double the leg.
 cmake -B build-ubsan -S . -DUVOLT_SANITIZE=undefined
 cmake --build build-ubsan -j "$jobs" \
-    --target fpga_test vmodel_test harness_test
+    --target fpga_test vmodel_test harness_test membackend_test
 UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/fpga_test
 UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/vmodel_test
 UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/harness_test
+UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/membackend_test
 
 echo "== tier 1: thread-sanitized build (TSan) =="
 # Only the suites that actually spin threads: the fleet engine, the

@@ -107,18 +107,6 @@ Bram::assignBit(int row, int col, bool value)
     bump();
 }
 
-bool
-Bram::getBit(int row, int col) const
-{
-    return testBit(row, col);
-}
-
-void
-Bram::setBit(int row, int col, bool value)
-{
-    assignBit(row, col, value);
-}
-
 int
 Bram::countOnes() const
 {

@@ -143,16 +143,6 @@ class Bram
     /** Fill every row with the same pattern (e.g. 0xFFFF). */
     void fill(std::uint16_t pattern);
 
-    /**
-     * Read or write a single bitcell.
-     * @deprecated Per-bitcell iteration is the slow path this layout
-     * retired; stream over words() with fpga::FaultDomain instead.
-     */
-    [[deprecated("walk words() / FaultDomain instead of bitcells")]]
-    bool getBit(int row, int col) const;
-    [[deprecated("walk words() / FaultDomain instead of bitcells")]]
-    void setBit(int row, int col, bool value);
-
     /** Bounds-checked single-bit access (the BitAddress-based shim). */
     bool testBit(int row, int col) const;
     void assignBit(int row, int col, bool value);

@@ -29,6 +29,12 @@ Campaign::onPlatforms(std::vector<std::string> platforms)
     return campaign;
 }
 
+Campaign
+Campaign::onDevices(std::vector<std::string> devices)
+{
+    return onPlatforms(std::move(devices));
+}
+
 Campaign &
 Campaign::withPattern(const PatternSpec &pattern)
 {

@@ -15,6 +15,15 @@
  * multi-step wiring (construct Board, discoverRegions, runCriticalSweep)
  * it replaces. The explicit path stays available for advanced control;
  * see the "advanced"/legacy notes in harness/experiment.hh.
+ *
+ * Platform names are resolved through the mem:: catalog, so a campaign
+ * can mix memory technologies in one fleet: BRAM dies (fpga platform
+ * catalog), HBM stacks (mem::hbmCatalog), and MoRS-SRAM chips
+ * (mem::sramCatalog) are all valid `onPlatforms` entries. Non-BRAM
+ * jobs run the backend sweep (mem::runMemSweep) instead of the board
+ * path; noise injection and region discovery are BRAM-only and
+ * fatal() if requested on a mixed fleet that includes other
+ * technologies.
  */
 
 #ifndef UVOLT_HARNESS_CAMPAIGN_HH
@@ -36,8 +45,15 @@ class Campaign
     /** Start a campaign on one die. */
     static Campaign onPlatform(std::string platform);
 
-    /** Start a campaign across several dies (die-to-die studies). */
+    /**
+     * Start a campaign across several dies (die-to-die studies).
+     * Entries may name any catalogued memory device — BRAM platforms,
+     * HBM stacks, or MoRS-SRAM chips — and one fleet may mix them.
+     */
     static Campaign onPlatforms(std::vector<std::string> platforms);
+
+    /** Alias of onPlatforms for heterogeneous memory fleets. */
+    static Campaign onDevices(std::vector<std::string> devices);
 
     /** Add one data pattern (default when none added: 0xFFFF). */
     Campaign &withPattern(const PatternSpec &pattern);

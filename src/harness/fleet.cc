@@ -16,6 +16,7 @@
 #include "util/flight_recorder.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "util/telemetry.hh"
 
 namespace uvolt::harness
@@ -84,6 +85,61 @@ isReferencePattern(const PatternSpec &pattern)
 }
 
 } // namespace
+
+void
+fillMemPattern(mem::MemoryDevice &device, const PatternSpec &pattern)
+{
+    if (pattern.kind == PatternSpec::Kind::Fixed) {
+        device.fill(pattern.word);
+        return;
+    }
+    const std::uint32_t wordsPerDomain = device.traits().wordsPerDomain;
+    std::vector<std::uint64_t> plane(wordsPerDomain);
+    for (std::uint32_t d = 0; d < device.domainCount(); ++d) {
+        // One stream per domain, like the per-BRAM streams of the
+        // Board path: domain content is independent of domain count.
+        Rng rng(combineSeeds(pattern.seed, d));
+        for (std::uint32_t w = 0; w < wordsPerDomain; ++w) {
+            std::uint64_t word = 0;
+            for (int bit = 0; bit < fpga::bramWordBits; ++bit) {
+                if (rng.chance(pattern.oneDensity))
+                    word |= std::uint64_t{1} << bit;
+            }
+            plane[w] = word;
+        }
+        device.assignDomainWords(d, plane);
+    }
+}
+
+SweepResult
+sweepFromMem(const mem::MemSweepResult &mem_result,
+             const PatternSpec &pattern)
+{
+    SweepResult result;
+    result.platform = mem_result.device;
+    result.dieId = mem_result.dieId;
+    result.pattern = pattern;
+    result.ambientC = mem_result.ambientC;
+    result.runsPerLevel = mem_result.runsPerLevel;
+    result.truncated = mem_result.truncated;
+    result.points.reserve(mem_result.points.size());
+    for (const mem::MemSweepPoint &mem_point : mem_result.points) {
+        SweepPoint point;
+        point.vccBramMv = mem_point.railMv; // the device rail, generally
+        point.runCounts.reserve(mem_point.runCounts.size());
+        for (std::uint64_t count : mem_point.runCounts) {
+            point.runCounts.push_back(static_cast<double>(count));
+            point.runStats.add(static_cast<double>(count));
+        }
+        point.medianFaults =
+            static_cast<double>(mem_point.medianFaults);
+        point.faultsPerMbit = mem_point.faultsPerMbit;
+        point.perBramFaults = mem_point.perDomainFaults;
+        point.bramPowerW = mem_point.railPowerW;
+        result.points.push_back(std::move(point));
+    }
+    return result;
+}
 
 std::string
 FleetJob::label() const
@@ -184,6 +240,23 @@ FvmCache::keyFor(const fpga::PlatformSpec &spec,
                      sanitized(pattern.label()), runs_per_level);
 }
 
+std::string
+FvmCache::keyForDevice(const mem::DeviceTraits &traits,
+                       const PatternSpec &pattern, int runs_per_level)
+{
+    if (traits.technology == mem::Technology::bram) {
+        // Legacy untagged format: BRAM keys (and their on-disk cache
+        // files) must stay byte-identical to pre-backend builds.
+        return strFormat("{}-{}-p{}-r{}", sanitized(traits.name),
+                         sanitized(traits.dieId),
+                         sanitized(pattern.label()), runs_per_level);
+    }
+    return strFormat("{}-{}-{}-p{}-r{}",
+                     mem::technologyName(traits.technology),
+                     sanitized(traits.name), sanitized(traits.dieId),
+                     sanitized(pattern.label()), runs_per_level);
+}
+
 Expected<std::shared_ptr<const Fvm>>
 FvmCache::obtain(const fpga::PlatformSpec &spec,
                  const PatternSpec &pattern, int runs_per_level,
@@ -266,10 +339,17 @@ Expected<void>
 FvmCache::store(const fpga::PlatformSpec &spec, const PatternSpec &pattern,
                 int runs_per_level, const Fvm &fvm)
 {
-    const std::string key = keyFor(spec, pattern, runs_per_level);
+    return storeKeyed(keyFor(spec, pattern, runs_per_level),
+                      fpga::Floorplan::columnGrid(spec.bramCount,
+                                                  spec.columnHeight),
+                      fvm);
+}
+
+Expected<void>
+FvmCache::storeKeyed(const std::string &key,
+                     const fpga::Floorplan &floorplan, const Fvm &fvm)
+{
     const std::string path = strFormat("{}/{}.fvm", directory_, key);
-    const fpga::Floorplan floorplan =
-        fpga::Floorplan::columnGrid(spec.bramCount, spec.columnHeight);
     if (auto saved = trySaveFvm(fvm, floorplan, path); !saved.ok())
         return saved.error();
 
@@ -313,6 +393,8 @@ FleetEngine::runJob(const FleetPlan &plan, const FleetJob &job) const
         return telemetry::TraceArgs{{"label", job.label()}};
     });
     fleetMetrics().jobs.increment();
+    if (mem::technologyOfName(job.platform) != mem::Technology::bram)
+        return runMemJob(plan, job);
     const fpga::PlatformSpec &spec = fpga::findPlatform(job.platform);
     auto model = pmbus::sharedChipModel(spec);
 
@@ -407,6 +489,36 @@ FleetEngine::runJob(const FleetPlan &plan, const FleetJob &job) const
     return last;
 }
 
+Expected<FleetJobOutcome>
+FleetEngine::runMemJob(const FleetPlan &plan, const FleetJob &job) const
+{
+    // Harsh-environment injection and rail-region discovery drive a
+    // pmbus::Board; neither applies to the non-BRAM backends.
+    if (job.noise)
+        fatal("fleet job {}: noise injection is BRAM-only", job.label());
+    if (plan.discoverRegions)
+        fatal("fleet job {}: region discovery is BRAM-only",
+              job.label());
+
+    auto device = mem::makeDevice(job.platform);
+    fillMemPattern(*device, job.pattern);
+
+    mem::MemSweepOptions options;
+    options.runsPerLevel = plan.runsPerLevel;
+    options.stepMv = plan.stepMv;
+    options.ambientC = job.ambientC;
+    options.collectPerDomain = plan.collectPerBram;
+    // The stateless jitter stream is keyed by the job identity, like
+    // the per-board run streams of the BRAM path.
+    options.seed = hashSeed(job.label());
+
+    FleetJobOutcome outcome;
+    outcome.job = job;
+    outcome.sweep =
+        sweepFromMem(mem::runMemSweep(*device, options), job.pattern);
+    return outcome;
+}
+
 namespace
 {
 
@@ -456,6 +568,8 @@ recordManifest(const FleetOptions &options, const FleetPlan &plan,
     for (const auto &job : plan.jobs) {
         manifest.jobLabels.push_back(job.label());
         manifest.noiseSeeds.push_back(job.noise ? job.noise->seed : 0);
+        manifest.backends.push_back(mem::technologyName(
+            mem::technologyOfName(job.platform)));
     }
     manifest.runsPerLevel = plan.runsPerLevel;
     manifest.stepMv = plan.stepMv;
@@ -503,8 +617,11 @@ FleetEngine::run(const FleetPlan &plan, ThreadPool &pool)
     // Warm the per-die chip models serially so workers alias instead of
     // racing on the synthesis lock, and create the checkpoint scratch
     // space before anyone needs it.
-    for (const auto &job : plan.jobs)
-        (void)pmbus::sharedChipModel(fpga::findPlatform(job.platform));
+    for (const auto &job : plan.jobs) {
+        if (mem::technologyOfName(job.platform) == mem::Technology::bram)
+            (void)pmbus::sharedChipModel(
+                fpga::findPlatform(job.platform));
+    }
     if (!options_.checkpointDir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(options_.checkpointDir, ec);
@@ -587,10 +704,13 @@ FleetEngine::run(const FleetPlan &plan, ThreadPool &pool)
         report->jobIndices.push_back(i);
     }
     for (auto &report : result.dies) {
-        const fpga::PlatformSpec &spec =
-            fpga::findPlatform(report.platform);
+        // Traits, not findPlatform: the die may be any backend. For
+        // BRAM names the two describe the identical geometry.
+        const mem::DeviceTraits traits =
+            mem::traitsOfName(report.platform);
+        report.technology = mem::technologyName(traits.technology);
         const fpga::Floorplan floorplan = fpga::Floorplan::columnGrid(
-            spec.bramCount, spec.columnHeight);
+            traits.domainCount, traits.columnHeight);
 
         // The die's headline rate comes from its reference-pattern job
         // (the paper compares dies at 0xFFFF); first job as fallback.
@@ -619,12 +739,15 @@ FleetEngine::run(const FleetPlan &plan, ThreadPool &pool)
                                                     static_cast<
                                                         std::uint32_t>(b)));
         }
-        report.mergedFvm.emplace(spec.name, floorplan, std::move(merged));
+        report.mergedFvm.emplace(traits.name, floorplan,
+                                 std::move(merged));
 
         if (options_.fvmCache) {
-            if (auto stored = options_.fvmCache->store(
-                    spec, result.jobs[rate_job].job.pattern,
-                    plan.runsPerLevel, *report.mergedFvm);
+            if (auto stored = options_.fvmCache->storeKeyed(
+                    FvmCache::keyForDevice(
+                        traits, result.jobs[rate_job].job.pattern,
+                        plan.runsPerLevel),
+                    floorplan, *report.mergedFvm);
                 !stored.ok())
                 warnc("fleet", "{}", stored.error().message);
         }

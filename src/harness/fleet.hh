@@ -41,6 +41,8 @@
 
 #include "harness/experiment.hh"
 #include "harness/fvm.hh"
+#include "mem/catalog.hh"
+#include "mem/sweep.hh"
 #include "pmbus/fault_injector.hh"
 #include "util/error.hh"
 #include "util/thread_pool.hh"
@@ -98,10 +100,28 @@ struct FleetJobOutcome
     bool resumed = false; ///< continued from an on-disk checkpoint
 };
 
+/**
+ * Program a memory device per a campaign pattern: the backend-generic
+ * counterpart of fillPattern(Board&, ...). Fixed patterns fill every
+ * lane; random patterns draw one seeded stream per fault domain
+ * (combineSeeds(pattern.seed, domain)), mirroring the per-BRAM streams
+ * of the Board path.
+ */
+void fillMemPattern(mem::MemoryDevice &device, const PatternSpec &pattern);
+
+/**
+ * Adapt a backend sweep into the harness SweepResult shape so fleet
+ * aggregation, reports, and the serving tier stay backend-agnostic.
+ * perDomainFaults lands in perBramFaults ("fault domain" counts).
+ */
+SweepResult sweepFromMem(const mem::MemSweepResult &mem_result,
+                         const PatternSpec &pattern);
+
 /** Aggregate view of one die across all its fleet jobs. */
 struct DieReport
 {
     std::string platform;
+    std::string technology = "bram";     ///< technologyName() tag
     std::string dieId;                   ///< board serial number
     std::vector<std::size_t> jobIndices; ///< into FleetResult::jobs
     double faultsPerMbitAtVcrash = 0.0;  ///< reference-pattern rate
@@ -180,6 +200,15 @@ class FvmCache
                               int runs_per_level);
 
     /**
+     * Cache key of a non-BRAM memory device. Carries the technology
+     * tag so an HBM map can never shadow a BRAM map; BRAM devices keep
+     * the untagged legacy keyFor() format (existing caches stay valid).
+     */
+    static std::string keyForDevice(const mem::DeviceTraits &traits,
+                                    const PatternSpec &pattern,
+                                    int runs_per_level);
+
+    /**
      * The die's map: from memory, else from disk, else by running
      * @a characterize exactly once (other threads wait and share the
      * result). The returned pointer aliases the in-memory entry.
@@ -195,6 +224,15 @@ class FvmCache
     Expected<void> store(const fpga::PlatformSpec &spec,
                          const PatternSpec &pattern, int runs_per_level,
                          const Fvm &fvm);
+
+    /**
+     * Generic publication path store() delegates to: key and floorplan
+     * supplied by the caller, so any MemoryDevice backend can publish
+     * its per-domain map.
+     */
+    Expected<void> storeKeyed(const std::string &key,
+                              const fpga::Floorplan &floorplan,
+                              const Fvm &fvm);
 
     /** Drop the in-memory layer (tests exercise the disk path). */
     void evictMemory();
@@ -267,6 +305,10 @@ class FleetEngine
   private:
     Expected<FleetJobOutcome> runJob(const FleetPlan &plan,
                                      const FleetJob &job) const;
+
+    /** Non-BRAM jobs: build the backend, program, sweep, adapt. */
+    Expected<FleetJobOutcome> runMemJob(const FleetPlan &plan,
+                                        const FleetJob &job) const;
 
     FleetOptions options_;
 };

@@ -51,7 +51,10 @@ RunManifest::toJson() const
     for (std::size_t i = 0; i < jobLabels.size(); ++i) {
         out << (i ? "," : "") << "\n      {\"label\": \""
             << json::escaped(jobLabels[i]) << "\", \"noise_seed\": "
-            << (i < noiseSeeds.size() ? noiseSeeds[i] : 0) << "}";
+            << (i < noiseSeeds.size() ? noiseSeeds[i] : 0)
+            << ", \"backend\": \""
+            << json::escaped(i < backends.size() ? backends[i] : "bram")
+            << "\"}";
     }
     out << "\n    ]\n  },\n";
     out << "  \"execution\": {\n";
@@ -140,6 +143,8 @@ RunManifest::fromJson(std::string_view text)
                 manifest.noiseSeeds.push_back(
                     static_cast<std::uint64_t>(
                         job.numberOr("noise_seed", 0)));
+                manifest.backends.push_back(
+                    job.stringOr("backend", "bram"));
             }
         }
     }

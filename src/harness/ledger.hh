@@ -56,6 +56,9 @@ struct RunManifest
     // The plan, summarized.
     std::vector<std::string> jobLabels;   ///< plan order
     std::vector<std::uint64_t> noiseSeeds; ///< per job; 0 = quiet
+    /** Per-job memory technology tag ("bram", "hbm", "sram"); parallel
+     *  to jobLabels. Absent entries in old manifests read as "bram". */
+    std::vector<std::string> backends;
     int runsPerLevel = 0;
     int stepMv = 0;
     bool collectPerBram = true;

@@ -680,10 +680,64 @@ UvoltServer::process(Pending item)
 }
 
 Expected<CharacterizeResponse>
+UvoltServer::characterizeMemOnce(const CharacterizeRequest &request,
+                                 std::uint64_t request_seed,
+                                 Clock::time_point deadline)
+{
+    auto device = mem::makeDevice(request.platform);
+    harness::fillMemPattern(*device, request.pattern);
+
+    mem::MemSweepOptions options;
+    options.runsPerLevel = request.runsPerLevel;
+    options.ambientC = request.ambientC;
+    options.collectPerDomain = true;
+    options.seed = request_seed;
+
+    // Same slice-boundary cancellation points as the BRAM path, but no
+    // checkpoint file: the stateless per-(level, run) jitter stream
+    // means a re-run re-measures skipped levels bit-identically.
+    mem::MemSweepResult merged;
+    std::optional<int> resume;
+    for (;;) {
+        if (stopRequested()) {
+            return makeError(Errc::serverStopped,
+                             "characterize cancelled at slice boundary");
+        }
+        if (Clock::now() > deadline) {
+            return makeError(Errc::deadlineExceeded,
+                             "characterize deadline passed at slice "
+                             "boundary");
+        }
+        mem::MemSweepOptions slice = options;
+        if (config_.sliceLevels > 0)
+            slice.maxLevels = config_.sliceLevels;
+        slice.resumeFromMv = resume;
+        mem::MemSweepResult part = mem::runMemSweep(*device, slice);
+        if (merged.points.empty()) {
+            merged = part;
+        } else {
+            merged.points.insert(merged.points.end(),
+                                 part.points.begin(),
+                                 part.points.end());
+            merged.truncated = part.truncated;
+        }
+        if (!merged.truncated)
+            break;
+        resume = merged.points.back().railMv;
+    }
+
+    CharacterizeResponse response;
+    response.sweep = harness::sweepFromMem(merged, request.pattern);
+    return response;
+}
+
+Expected<CharacterizeResponse>
 UvoltServer::characterizeOnce(const CharacterizeRequest &request,
                               std::uint64_t request_seed, int attempt,
                               Clock::time_point deadline, bool &resumed)
 {
+    if (mem::technologyOfName(request.platform) != mem::Technology::bram)
+        return characterizeMemOnce(request, request_seed, deadline);
     const fpga::PlatformSpec &spec = fpga::findPlatform(request.platform);
     auto model = pmbus::sharedChipModel(spec);
     pmbus::Board board(spec, model);
@@ -808,13 +862,20 @@ UvoltServer::finishCharacterize(Pending &item)
             response.resumed = resumed;
 
             if (config_.fvmCache) {
-                const fpga::PlatformSpec &spec =
-                    fpga::findPlatform(request.platform);
+                // Backend-generic publication: the traits carry the
+                // domain grid for any technology, and keyForDevice
+                // emits the legacy untagged key for BRAM so existing
+                // cache entries stay addressable.
+                const mem::DeviceTraits traits =
+                    mem::traitsOfName(request.platform);
                 const fpga::Floorplan floorplan =
-                    fpga::Floorplan::columnGrid(spec.bramCount,
-                                                spec.columnHeight);
-                if (auto stored = config_.fvmCache->store(
-                        spec, request.pattern, request.runsPerLevel,
+                    fpga::Floorplan::columnGrid(traits.domainCount,
+                                                traits.columnHeight);
+                if (auto stored = config_.fvmCache->storeKeyed(
+                        harness::FvmCache::keyForDevice(
+                            traits, request.pattern,
+                            request.runsPerLevel),
+                        floorplan,
                         harness::fvmFromSweep(response.sweep,
                                               floorplan));
                     !stored.ok()) {

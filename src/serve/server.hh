@@ -338,6 +338,17 @@ class UvoltServer
                      std::uint64_t request_seed, int attempt,
                      Clock::time_point deadline, bool &resumed);
 
+    /**
+     * Non-BRAM devices: time-sliced backend sweep. The stateless mem
+     * jitter stream makes slices resumable without checkpoint files,
+     * and the injected-noise config is ignored (it drives a
+     * pmbus::Board, which only the BRAM path has).
+     */
+    Expected<CharacterizeResponse>
+    characterizeMemOnce(const CharacterizeRequest &request,
+                        std::uint64_t request_seed,
+                        Clock::time_point deadline);
+
     Expected<std::shared_ptr<const nn::Network>>
     obtainModel(int setpoint_mv, std::uint64_t request_seed,
                 int &attempts);

@@ -16,11 +16,12 @@ std::size_t
 ThresholdLadder::activeCount(double effective_v) const
 {
     // Thresholds are sorted descending, so the cells that fail at this
-    // voltage (effective_v < threshold, float promoted to double exactly
-    // as the scalar walker compared) are a prefix.
+    // voltage are a prefix. The boundary is cellFailsAt() — the one
+    // shared predicate — so equality (healthy) resolves identically
+    // here and in the scalar reference walker.
     const auto end = std::partition_point(
         thresholds.begin(), thresholds.end(), [effective_v](float t) {
-            return static_cast<double>(t) > effective_v;
+            return cellFailsAt(t, effective_v);
         });
     return static_cast<std::size_t>(end - thresholds.begin());
 }
@@ -279,7 +280,7 @@ ChipFaultModel::countBramFaultsReference(const fpga::Bram &written,
 {
     int faults = 0;
     for (const WeakCell &cell : weakCells(bram)) {
-        if (effective_v >= cell.thresholdV)
+        if (!cellFailsAt(cell.thresholdV, effective_v))
             continue;
         const bool stored = written.testBit(cell.row, cell.col);
         if (cell.oneToZero ? stored : !stored)

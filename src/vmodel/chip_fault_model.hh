@@ -51,6 +51,24 @@ struct WeakCell
 constexpr double oneToZeroShare = 0.999;
 
 /**
+ * THE fault predicate: a weak element with threshold @a threshold_v
+ * fails at effective voltage @a effective_v iff the effective voltage
+ * is *strictly below* the threshold. Thresholds are stored as float and
+ * promoted to double exactly (every float is representable), so the
+ * comparison is unambiguous — and a cell whose threshold equals the
+ * probe voltage is HEALTHY. Every fault-counting path (the packed
+ * ladder's partition_point, the scalar reference walkers, and the
+ * mem:: backends' generalized ladders) must route through this one
+ * function so the exact-equality boundary can never diverge between
+ * implementations.
+ */
+inline bool
+cellFailsAt(float threshold_v, double effective_v)
+{
+    return effective_v < static_cast<double>(threshold_v);
+}
+
+/**
  * Precomputed packed threshold masks of one BRAM and one polarity:
  * weak cells sorted by descending failure threshold in SoA layout, so
  * the cells active at voltage v are exactly a prefix (found by one

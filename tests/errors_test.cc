@@ -44,7 +44,7 @@ TEST(ErrorsDeathTest, BramRowOutOfRange)
     fpga::Bram bram;
     EXPECT_EXIT(bram.writeRow(1024, 0), ExitedWithCode(1), "row");
     EXPECT_EXIT(bram.readRow(-1), ExitedWithCode(1), "row");
-    EXPECT_EXIT(bram.setBit(0, 16, true), ExitedWithCode(1), "col");
+    EXPECT_EXIT(bram.assignBit(0, 16, true), ExitedWithCode(1), "col");
 }
 
 TEST(ErrorsDeathTest, DeviceBramOutOfPool)

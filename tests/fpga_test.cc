@@ -52,19 +52,19 @@ TEST(BramTest, BitAccess)
     EXPECT_EQ(bram.readRow(5), 0);
 }
 
-TEST(BramTest, DeprecatedBitShimDelegates)
+TEST(BramTest, BitAccessRoundTripsThroughWords)
 {
-    // The retired per-bitcell accessors must keep working for out-of-
-    // tree callers until removal; silence our own deprecation warning.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    // The per-bitcell shims are gone (the tree builds with
+    // -Werror=deprecated-declarations); the BitAddress-based accessors
+    // are the only single-bit API and must agree with the packed plane.
     Bram bram;
-    bram.setBit(7, 11, true);
-    EXPECT_TRUE(bram.getBit(7, 11));
+    bram.assignBit(7, 11, true);
     EXPECT_TRUE(bram.testBit(7, 11));
-    bram.setBit(7, 11, false);
-    EXPECT_FALSE(bram.getBit(7, 11));
-#pragma GCC diagnostic pop
+    const BitAddress addr{0, 7, 11};
+    EXPECT_TRUE(bram.words()[addr.wordIndex()] & addr.wordMask());
+    bram.assignBit(7, 11, false);
+    EXPECT_FALSE(bram.testBit(7, 11));
+    EXPECT_FALSE(bram.words()[addr.wordIndex()] & addr.wordMask());
 }
 
 TEST(BramTest, FillAndCountOnes)

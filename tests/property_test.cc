@@ -20,6 +20,8 @@
 #include "fpga/platform.hh"
 #include "fxp/fixed_point.hh"
 #include "harness/experiment.hh"
+#include "mem/catalog.hh"
+#include "mem/memory_device.hh"
 #include "nn/quantizer.hh"
 #include "pmbus/board.hh"
 #include "power/power_model.hh"
@@ -300,6 +302,84 @@ TEST_P(PackedFaultDomainProperties, PackedEqualsScalarReference)
 }
 
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, PackedFaultDomainProperties,
+                         ::testing::Values(0u, 1u, 8u));
+
+// ---------------------------------------------------------------------
+// The same invariant lifted to the MemoryDevice abstraction: for EVERY
+// backend (BRAM adapter, HBM, MoRS SRAM), the packed ladder path is
+// bit-for-bit the backend's scalar reference walker, under random
+// patterns, random voltages around the envelope, and any worker count
+// ---------------------------------------------------------------------
+
+class MemBackendProperties
+    : public ::testing::TestWithParam<std::size_t> // ThreadPool workers
+{
+};
+
+TEST_P(MemBackendProperties, PackedEqualsScalarReferenceOnEveryBackend)
+{
+    // gtest assertions are not thread-safe, so worker jobs only count
+    // mismatches; the main thread asserts once the pool drains.
+    ThreadPool pool(GetParam());
+    std::atomic<std::uint64_t> mismatches{0};
+
+    for (const char *name : {"VC707", "HBM2-A", "MORS-SRAM-A"}) {
+        pool.submit([name, &mismatches] {
+            const auto device = mem::makeDevice(name);
+            Rng rng(combineSeeds(hashSeed(name), 0x3E3));
+            const mem::DeviceTraits &traits = device->traits();
+
+            const double v_lo = traits.vcrashMv / 1000.0 - 0.01;
+            const double v_hi = traits.vminMv / 1000.0 + 0.01;
+            const std::uint32_t stride = traits.domainCount / 13 + 1;
+            std::vector<std::uint64_t> plane(traits.wordsPerDomain);
+
+            for (int trial = 0; trial < 3; ++trial) {
+                // Random pattern of random "1" density, programmed
+                // through the packed-plane interface and read back.
+                const double density = rng.uniform();
+                for (std::uint32_t d = 0; d < traits.domainCount;
+                     d += stride) {
+                    for (auto &word : plane) {
+                        word = 0;
+                        for (int bit = 0; bit < fpga::bramWordBits;
+                             ++bit) {
+                            if (rng.chance(density))
+                                word |= std::uint64_t{1} << bit;
+                        }
+                    }
+                    device->assignDomainWords(d, plane);
+                    if (std::vector<std::uint64_t>(
+                            device->domainWords(d).begin(),
+                            device->domainWords(d).end()) != plane)
+                        ++mismatches; // programming round-trip
+
+                    const double v = rng.uniform(v_lo, v_hi);
+                    const int packed = device->countDomainFaults(d, v);
+                    const int reference =
+                        device->countDomainFaultsReference(d, v);
+                    if (packed != reference)
+                        ++mismatches;
+                    // The materialized readback agrees bit for bit:
+                    // its diff against the written plane IS the count.
+                    const auto observed = device->readDomainPacked(d, v);
+                    if (fpga::diffPopcount(device->domainWords(d),
+                                           observed) !=
+                        static_cast<std::uint64_t>(packed))
+                        ++mismatches;
+                    // Row-lane accessors survive the pack round-trip.
+                    if (fpga::packRows(fpga::unpackRows(observed)) !=
+                        observed)
+                        ++mismatches;
+                }
+            }
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(mismatches.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, MemBackendProperties,
                          ::testing::Values(0u, 1u, 8u));
 
 TEST(PackedFaultDomainProperties, PopcountMatchesNaiveBitCount)

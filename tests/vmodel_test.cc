@@ -344,5 +344,62 @@ TEST(ChipFaultModel, EffectiveVoltageComposition)
                 1e-12);
 }
 
+// Regression for the exact-equality boundary of the shared fault
+// predicate: a weak cell whose threshold EQUALS the probe voltage is
+// healthy (cellFailsAt is a strict <), and the packed ladder's
+// partition_point agrees with the scalar reference walker on that exact
+// boundary. Before the predicate was shared, the ladder compared the
+// double probe against float thresholds and the walker promoted the
+// other way, so a cell pinned exactly at the probe could count on one
+// path and not the other.
+TEST(ChipFaultModel, CellAtExactProbeVoltageIsHealthyOnBothPaths)
+{
+    const PlatformSpec &spec = findPlatform("ZC702");
+    const ChipFaultModel model(spec, planOf(spec));
+
+    // Find a weak cell and use ITS threshold as the probe voltage,
+    // promoted float->double exactly as the predicate does.
+    std::uint32_t bram = 0;
+    float threshold = -1.0f;
+    for (std::uint32_t b = 0; b < spec.bramCount && threshold < 0.0f;
+         ++b) {
+        for (const WeakCell &cell : model.weakCells(b)) {
+            if (cell.oneToZero) {
+                bram = b;
+                threshold = cell.thresholdV;
+                break;
+            }
+        }
+    }
+    ASSERT_GT(threshold, 0.0f) << "chip with no weak 1->0 cells";
+
+    fpga::Bram written;
+    for (int row = 0; row < fpga::bramRows; ++row)
+        written.writeRow(row, 0xFFFF);
+
+    const double exactly = static_cast<double>(threshold);
+    const double just_below =
+        static_cast<double>(std::nextafter(threshold, 0.0f));
+
+    // Equality => healthy, on the packed path AND the reference walker.
+    const int packed_at = model.countFaults(written.words(), bram,
+                                            exactly);
+    const int reference_at =
+        model.countBramFaultsReference(written, bram, exactly);
+    EXPECT_EQ(packed_at, reference_at);
+
+    // One ulp below the threshold the cell fails — on both paths.
+    const int packed_below = model.countFaults(written.words(), bram,
+                                               just_below);
+    const int reference_below =
+        model.countBramFaultsReference(written, bram, just_below);
+    EXPECT_EQ(packed_below, reference_below);
+    EXPECT_GT(packed_below, packed_at);
+
+    // The predicate itself pins the boundary.
+    EXPECT_FALSE(cellFailsAt(threshold, exactly));
+    EXPECT_TRUE(cellFailsAt(threshold, just_below));
+}
+
 } // namespace
 } // namespace uvolt::vmodel
